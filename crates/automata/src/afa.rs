@@ -1,0 +1,197 @@
+//! Alternating finite automata (AFA) representing `Xreg` filters.
+//!
+//! Following Section 4 of the paper, an AFA `(K, Σ, δ, s, F)` partitions its
+//! states into
+//!
+//! * **operator states** (`Kop`) marked AND, OR or NOT, whose transition
+//!   function is only defined for ε and whose value combines the values of
+//!   their successors,
+//! * **transition states** (`Kl`), defined for a single label, moving to a
+//!   child of the current node carrying that label,
+//! * **final states** (`F`), optionally annotated with a predicate of the
+//!   form `text() = 'c'`.
+//!
+//! The value of an AFA at a node `n` is the Boolean variable `X(n, s)` of
+//! the start state `s`, computed exactly as in the paper's Example 4.1:
+//! OR/AND/NOT combine successor variables at the same node; a transition
+//! state on label `A` is the disjunction of the variables of its successor
+//! over all `A`-labelled children (false if there is none); a final state is
+//! the value of its predicate at the node.
+
+/// Identifier of an AFA within an MFA (the paper's names `X_i`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AfaId(pub u32);
+
+impl AfaId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a state inside one AFA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AfaStateId(pub u32);
+
+impl AfaStateId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The predicate optionally carried by an AFA final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FinalPredicate {
+    /// No predicate: the final state is unconditionally true at any node.
+    True,
+    /// `text() = 'c'`: true iff the node's PCDATA equals the constant.
+    TextEq(String),
+    /// Never true. Produced by the view-rewriting algorithm when a filter
+    /// tests the text of a view element type that cannot carry text, so the
+    /// predicate can never hold on any view instance.
+    False,
+}
+
+/// One state of an AFA.
+#[derive(Debug, Clone)]
+pub enum AfaState {
+    /// AND operator state: true iff *all* successors are true (ε-moves).
+    And(Vec<AfaStateId>),
+    /// OR operator state: true iff *some* successor is true (ε-moves).
+    Or(Vec<AfaStateId>),
+    /// NOT operator state: true iff its single successor is false (ε-move).
+    Not(AfaStateId),
+    /// Transition state: true iff some child matching the transition makes
+    /// the successor true at that child.
+    Trans(crate::nfa::Transition, AfaStateId),
+    /// Final state with its predicate.
+    Final(FinalPredicate),
+}
+
+/// An alternating finite automaton for one filter.
+#[derive(Debug, Clone)]
+pub struct Afa {
+    states: Vec<AfaState>,
+    start: AfaStateId,
+}
+
+impl Afa {
+    /// Creates an AFA from raw parts. Used by [`crate::MfaBuilder`].
+    pub(crate) fn from_parts(states: Vec<AfaState>, start: AfaStateId) -> Self {
+        Afa { states, start }
+    }
+
+    /// The start state.
+    #[inline]
+    pub fn start(&self) -> AfaStateId {
+        self.start
+    }
+
+    /// Number of states.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the AFA has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Access to a state.
+    #[inline]
+    pub fn state(&self, id: AfaStateId) -> &AfaState {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over `(id, state)` pairs.
+    pub fn states(&self) -> impl Iterator<Item = (AfaStateId, &AfaState)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (AfaStateId(i as u32), s))
+    }
+
+    /// Number of transitions, counting each operator-state successor and
+    /// each labelled transition once.
+    pub fn transition_count(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| match s {
+                AfaState::And(v) | AfaState::Or(v) => v.len(),
+                AfaState::Not(_) | AfaState::Trans(..) => 1,
+                AfaState::Final(_) => 0,
+            })
+            .sum()
+    }
+
+    /// The labels (in the owning MFA's interner) that can start a transition
+    /// from any state of this AFA. Used by HyPE to decide whether descending
+    /// into a child can possibly advance a pending filter.
+    pub fn transition_labels(&self) -> Vec<crate::nfa::Transition> {
+        let mut out = Vec::new();
+        for s in &self.states {
+            if let AfaState::Trans(t, _) = s {
+                if !out.contains(t) {
+                    out.push(*t);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Transition;
+
+    /// Hand-builds the AFA of the paper's Fig. 3 skeleton:
+    /// `sA1 = OR(sA2, sA5)`, `sA2 --parent--> sA3 --patient--> sA4`,
+    /// `sA4 = OR(sA2, sA5)`, `sA5 --record--> sA6 --diagnosis--> sA7`,
+    /// `sA7` final with `text()='heart disease'`.
+    fn fig3_afa() -> Afa {
+        // Labels: 0=parent, 1=patient, 2=record, 3=diagnosis.
+        let states = vec![
+            AfaState::Or(vec![AfaStateId(1), AfaStateId(4)]), // sA1
+            AfaState::Trans(Transition::Label(0), AfaStateId(2)), // sA2
+            AfaState::Trans(Transition::Label(1), AfaStateId(3)), // sA3
+            AfaState::Or(vec![AfaStateId(1), AfaStateId(4)]), // sA4
+            AfaState::Trans(Transition::Label(2), AfaStateId(5)), // sA5
+            AfaState::Trans(Transition::Label(3), AfaStateId(6)), // sA6
+            AfaState::Final(FinalPredicate::TextEq("heart disease".to_owned())), // sA7
+        ];
+        Afa::from_parts(states, AfaStateId(0))
+    }
+
+    #[test]
+    fn counts_and_access() {
+        let afa = fig3_afa();
+        assert_eq!(afa.len(), 7);
+        assert_eq!(afa.start(), AfaStateId(0));
+        assert_eq!(afa.transition_count(), 2 + 1 + 1 + 2 + 1 + 1);
+        assert!(matches!(afa.state(AfaStateId(6)), AfaState::Final(_)));
+    }
+
+    #[test]
+    fn transition_labels_are_deduplicated() {
+        let afa = fig3_afa();
+        let labels = afa.transition_labels();
+        assert_eq!(labels.len(), 4);
+        assert!(labels.contains(&Transition::Label(0)));
+        assert!(labels.contains(&Transition::Label(3)));
+    }
+
+    #[test]
+    fn final_predicates_compare() {
+        assert_eq!(FinalPredicate::True, FinalPredicate::True);
+        assert_ne!(
+            FinalPredicate::TextEq("a".to_owned()),
+            FinalPredicate::TextEq("b".to_owned())
+        );
+        assert_ne!(FinalPredicate::True, FinalPredicate::False);
+    }
+}

@@ -1,0 +1,92 @@
+//! Translation between a document's label ids and an MFA's label ids.
+//!
+//! A document tree and an MFA each intern labels independently (the MFA is
+//! usually compiled before any document is loaded). At evaluation time a
+//! [`LabelMap`] translates the document's dense label ids into the MFA's
+//! ids once, so the inner evaluation loops compare plain integers.
+
+use smoqe_xml::{LabelId, LabelInterner};
+
+use crate::mfa::Mfa;
+use crate::nfa::Transition;
+
+/// Maps a document interner's label ids onto an MFA's label ids.
+#[derive(Debug, Clone)]
+pub struct LabelMap {
+    /// Indexed by document label id; `None` when the MFA never mentions the
+    /// label (such children can only be matched by wildcard transitions).
+    doc_to_mfa: Vec<Option<u32>>,
+}
+
+impl LabelMap {
+    /// Builds the map for evaluating `mfa` over documents using `doc_labels`.
+    pub fn new(mfa: &Mfa, doc_labels: &LabelInterner) -> Self {
+        Self::from_interners(mfa.labels(), doc_labels)
+    }
+
+    /// Builds a map between two arbitrary interners (MFA-side first).
+    pub fn from_interners(mfa_labels: &LabelInterner, doc_labels: &LabelInterner) -> Self {
+        let mut doc_to_mfa = vec![None; doc_labels.len()];
+        for (doc_id, name) in doc_labels.iter() {
+            if let Some(mfa_id) = mfa_labels.get(name) {
+                doc_to_mfa[doc_id.index()] = Some(mfa_id.0);
+            }
+        }
+        LabelMap { doc_to_mfa }
+    }
+
+    /// Translates a document label id into the MFA's id, if the MFA knows it.
+    #[inline]
+    pub fn translate(&self, doc_label: LabelId) -> Option<u32> {
+        self.doc_to_mfa.get(doc_label.index()).copied().flatten()
+    }
+
+    /// Returns `true` if `transition` matches a document node labelled
+    /// `doc_label`.
+    #[inline]
+    pub fn matches(&self, transition: Transition, doc_label: LabelId) -> bool {
+        match transition {
+            Transition::Any => true,
+            Transition::Label(l) => self.translate(doc_label) == Some(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfa::MfaBuilder;
+
+    #[test]
+    fn translate_and_match() {
+        let mut b = MfaBuilder::new();
+        let patient = b.intern_label("patient");
+        let s = b.new_state();
+        b.set_start(s);
+        let mfa = b.finish();
+
+        let mut doc_labels = LabelInterner::new();
+        let doc_doctor = doc_labels.intern("doctor");
+        let doc_patient = doc_labels.intern("patient");
+
+        let map = LabelMap::new(&mfa, &doc_labels);
+        assert_eq!(map.translate(doc_patient), Some(patient));
+        assert_eq!(map.translate(doc_doctor), None);
+        assert!(map.matches(Transition::Label(patient), doc_patient));
+        assert!(!map.matches(Transition::Label(patient), doc_doctor));
+        assert!(map.matches(Transition::Any, doc_doctor));
+    }
+
+    #[test]
+    fn unknown_document_label_is_handled() {
+        let mut b = MfaBuilder::new();
+        let s = b.new_state();
+        b.set_start(s);
+        let mfa = b.finish();
+        let doc_labels = LabelInterner::new();
+        let map = LabelMap::new(&mfa, &doc_labels);
+        // Out-of-range ids (possible when the map was built from an older
+        // snapshot of the interner) must not panic.
+        assert_eq!(map.translate(LabelId(42)), None);
+    }
+}

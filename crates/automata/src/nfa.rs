@@ -1,0 +1,216 @@
+//! The selecting NFA `Ns` of an MFA.
+//!
+//! `Ns = (Ks, Σs, δs, s, F, λ)` — states, alphabet, transition function,
+//! start state, final states, and the partial mapping `λ` from states to AFA
+//! names (Section 4). Transitions move from a node to one of its *children*
+//! whose label matches; ε-transitions stay on the current node.
+
+use crate::afa::AfaId;
+
+/// Identifier of a state of the selecting NFA.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A child-axis transition label.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Transition {
+    /// Move to children carrying exactly this label (id in the MFA's own
+    /// label interner).
+    Label(u32),
+    /// Move to any child, whatever its label (the wildcard `*` step).
+    Any,
+}
+
+/// One state of the selecting NFA.
+#[derive(Debug, Clone, Default)]
+pub struct NfaState {
+    /// ε-transitions: states assumed at the *same* node.
+    pub eps: Vec<StateId>,
+    /// Label transitions: `(transition, target)` pairs consuming one child step.
+    pub trans: Vec<(Transition, StateId)>,
+    /// `true` if a node associated with this state belongs to the answer
+    /// (provided the state's AFA, if any, holds there).
+    pub is_final: bool,
+    /// The `λ` annotation: the AFA that must evaluate to `true` at any node
+    /// associated with this state.
+    pub afa: Option<AfaId>,
+}
+
+/// The selecting NFA: a vector of states plus the start state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<NfaState>,
+    start: StateId,
+}
+
+impl Nfa {
+    /// Creates an NFA from raw parts. Used by [`crate::MfaBuilder`].
+    pub(crate) fn from_parts(states: Vec<NfaState>, start: StateId) -> Self {
+        Nfa { states, start }
+    }
+
+    /// The start state `s`.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of states `|Ks|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `true` if the NFA has no states (never the case once built).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Access to a state.
+    #[inline]
+    pub fn state(&self, id: StateId) -> &NfaState {
+        &self.states[id.index()]
+    }
+
+    /// Iterates over `(id, state)` pairs.
+    pub fn states(&self) -> impl Iterator<Item = (StateId, &NfaState)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// Total number of transitions (ε and labelled), the `|M|` measure used
+    /// in the complexity bounds.
+    pub fn transition_count(&self) -> usize {
+        self.states
+            .iter()
+            .map(|s| s.eps.len() + s.trans.len())
+            .sum()
+    }
+
+    /// Computes the ε-closure of `states`: every state reachable via zero or
+    /// more ε-transitions. The result is sorted and deduplicated.
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(states.len());
+        for &s in states {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(s) = stack.pop() {
+            out.push(s);
+            for &t in &self.state(s).eps {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The paper's `NextNFAStates`: from the ε-closed set `states`, the set
+    /// of states reached by consuming a child labelled `label` (before
+    /// ε-closure of the result).
+    pub fn step(&self, states: &[StateId], label: u32) -> Vec<StateId> {
+        let mut out = Vec::new();
+        for &s in states {
+            for &(t, target) in &self.state(s).trans {
+                let matches = match t {
+                    Transition::Any => true,
+                    Transition::Label(l) => l == label,
+                };
+                if matches && !out.contains(&target) {
+                    out.push(target);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// `true` if any state in `states` is final.
+    pub fn any_final(&self, states: &[StateId]) -> bool {
+        states.iter().any(|&s| self.state(s).is_final)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfa::MfaBuilder;
+
+    /// Builds a tiny NFA by hand:  s0 --a--> s1 --ε--> s2(final), s0 --ε--> s3 --b--> s2.
+    fn sample() -> Nfa {
+        let mut b = MfaBuilder::new();
+        let s0 = b.new_state();
+        let s1 = b.new_state();
+        let s2 = b.new_state();
+        let s3 = b.new_state();
+        let a = b.intern_label("a");
+        let lb = b.intern_label("b");
+        b.add_label_transition(s0, Transition::Label(a), s1);
+        b.add_eps(s1, s2);
+        b.add_eps(s0, s3);
+        b.add_label_transition(s3, Transition::Label(lb), s2);
+        b.set_final(s2);
+        b.set_start(s0);
+        b.finish().into_nfa()
+    }
+
+    #[test]
+    fn eps_closure_follows_chains() {
+        let nfa = sample();
+        let closure = nfa.eps_closure(&[nfa.start()]);
+        assert_eq!(closure, vec![StateId(0), StateId(3)]);
+        let closure1 = nfa.eps_closure(&[StateId(1)]);
+        assert_eq!(closure1, vec![StateId(1), StateId(2)]);
+    }
+
+    #[test]
+    fn step_consumes_matching_labels_only() {
+        let nfa = sample();
+        let closure = nfa.eps_closure(&[nfa.start()]);
+        let on_a = nfa.step(&closure, 0);
+        assert_eq!(on_a, vec![StateId(1)]);
+        let on_b = nfa.step(&closure, 1);
+        assert_eq!(on_b, vec![StateId(2)]);
+        let on_missing = nfa.step(&closure, 99);
+        assert!(on_missing.is_empty());
+    }
+
+    #[test]
+    fn any_transition_matches_every_label() {
+        let mut b = MfaBuilder::new();
+        let s0 = b.new_state();
+        let s1 = b.new_state();
+        b.add_label_transition(s0, Transition::Any, s1);
+        b.set_final(s1);
+        b.set_start(s0);
+        let nfa = b.finish().into_nfa();
+        assert_eq!(nfa.step(&[StateId(0)], 7), vec![StateId(1)]);
+        assert_eq!(nfa.step(&[StateId(0)], 0), vec![StateId(1)]);
+    }
+
+    #[test]
+    fn final_detection_and_counts() {
+        let nfa = sample();
+        assert!(nfa.any_final(&[StateId(2)]));
+        assert!(!nfa.any_final(&[StateId(0), StateId(1)]));
+        assert_eq!(nfa.len(), 4);
+        assert_eq!(nfa.transition_count(), 4);
+    }
+}

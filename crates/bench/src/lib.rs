@@ -1,0 +1,129 @@
+//! Shared workloads for the SMOQE-RS benchmark harness.
+//!
+//! One Criterion bench target (or plain report binary) exists per table /
+//! figure of the paper's Section 7; this library defines the documents and
+//! query sets they share so that every bench measures exactly the same
+//! workload. See EXPERIMENTS.md for the mapping and for paper-vs-measured
+//! results.
+//!
+//! ## Scaling note
+//!
+//! The paper's documents range from 7 MB (~10,000 patients, ~450k nodes) to
+//! 70 MB (~100,000 patients). To keep `cargo bench` runs in the minutes
+//! rather than hours on a development machine, the default series here uses
+//! smaller documents (the `SMOQE_BENCH_SCALE` environment variable scales
+//! them up: `SMOQE_BENCH_SCALE=10` reproduces the paper's sizes). The claims
+//! under test are *relative* — which system is faster, by what factor, and
+//! how the curves scale — and those are preserved at the smaller scale.
+
+use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_xml::XmlTree;
+
+/// One document of the benchmark series.
+pub struct BenchDocument {
+    /// Human-readable label (approximate serialized size).
+    pub label: String,
+    /// Number of top-level patients.
+    pub patients: usize,
+    /// The document itself.
+    pub tree: XmlTree,
+}
+
+/// The document series used by Figures 8 and 9 (increasing sizes).
+///
+/// The number of steps defaults to 4; the paper uses 10 steps of 7 MB each.
+pub fn document_series(steps: usize) -> Vec<BenchDocument> {
+    let scale: usize = std::env::var("SMOQE_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    (1..=steps)
+        .map(|step| {
+            let patients = 700 * step * scale;
+            let tree = generate_hospital(&HospitalConfig {
+                patients,
+                departments: 6,
+                heart_disease_fraction: 0.3,
+                max_ancestor_depth: 2,
+                sibling_probability: 0.3,
+                visits_per_patient: 2,
+                test_visit_fraction: 0.3,
+                seed: 2007,
+            });
+            let label = format!(
+                "{:.1}MB",
+                tree.approximate_byte_size() as f64 / 1_000_000.0
+            );
+            BenchDocument {
+                label,
+                patients,
+                tree,
+            }
+        })
+        .collect()
+}
+
+/// A single mid-sized document for the pruning-statistics report.
+pub fn medium_document() -> XmlTree {
+    generate_hospital(&HospitalConfig {
+        patients: 2_000,
+        departments: 6,
+        heart_disease_fraction: 0.3,
+        max_ancestor_depth: 2,
+        sibling_probability: 0.3,
+        visits_per_patient: 2,
+        test_visit_fraction: 0.3,
+        seed: 2007,
+    })
+}
+
+/// The XPath queries of Fig. 8: (a) a filter returning a large node set,
+/// (b) filter conjunctions, (c) filter disjunctions.
+pub fn fig8_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "fig8a_large_result_filter",
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+        ),
+        (
+            "fig8b_filter_conjunctions",
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease' \
+             and visit/treatment/test and not(sibling)]/pname",
+        ),
+        (
+            "fig8c_filter_disjunctions",
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease' \
+             or visit/treatment/medication/diagnosis/text()='lung disease' \
+             or visit/treatment/test]/pname",
+        ),
+    ]
+}
+
+/// The regular XPath queries of Fig. 9: (a) Kleene star outside a filter,
+/// (b) a filter inside a Kleene star, (c) a Kleene star inside a filter.
+pub fn fig9_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "fig9a_star_outside_filter",
+            "department/patient/(parent/patient)*/visit/treatment/medication/diagnosis",
+        ),
+        (
+            "fig9b_filter_inside_star",
+            "department/patient/(parent/patient[visit/treatment/medication])*/pname",
+        ),
+        (
+            "fig9c_star_inside_filter",
+            "department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+        ),
+    ]
+}
+
+/// The six example queries whose pruning statistics Section 7 reports
+/// (average 78.2% for HyPE, 88% for OptHyPE).
+pub fn pruning_queries() -> Vec<&'static str> {
+    fig8_queries()
+        .into_iter()
+        .chain(fig9_queries())
+        .map(|(_, q)| q)
+        .collect()
+}

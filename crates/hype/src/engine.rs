@@ -1,0 +1,769 @@
+//! The HyPE evaluation engine (Fig. 6 of the paper).
+//!
+//! One depth-first pass over the document drives the selecting NFA
+//! (`mstates`), propagates pending filter states downwards (`fstates↓`),
+//! computes filter values upwards (`fstates↑`) as soon as the relevant
+//! subtree is complete, and materialises the candidate-answer DAG `cans`.
+//! A final traversal of `cans` — whose size is bounded by `|T|·|M|` but is
+//! usually far smaller than `T` — produces the answer set.
+//!
+//! Pruning (the `OptHyPE` variants) additionally consults a
+//! [`ReachabilityIndex`]: a subtree rooted at a child labelled `L` is
+//! skipped outright when, given the labels the DTD allows below `L`,
+//! (a) no selecting-NFA state pending at that child can reach a final
+//! state, and (b) every pending filter state is necessarily false there.
+//! Correctness of that rule assumes the document conforms to the DTD used
+//! to build the index, which is the same assumption the paper makes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use smoqe_automata::{
+    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
+};
+use smoqe_xml::{LabelId, NodeId, XmlTree};
+
+use crate::index::ReachabilityIndex;
+
+/// Execution statistics of one HyPE run, used to reproduce the paper's
+/// pruning measurements ("HyPE prunes, on average, 78.2% of the element
+/// nodes, OptHyPE 88%").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HypeStats {
+    /// Number of element nodes in the evaluated subtree.
+    pub nodes_total: usize,
+    /// Number of element nodes actually visited by the traversal.
+    pub nodes_visited: usize,
+    /// Number of vertices of the candidate-answer DAG `cans`.
+    pub cans_vertices: usize,
+    /// Number of edges of `cans`.
+    pub cans_edges: usize,
+    /// Number of Boolean filter variables (`X(node, state)`) computed.
+    pub afa_values_computed: usize,
+}
+
+impl HypeStats {
+    /// Fraction of element nodes that were *not* visited (pruned), in `[0, 1]`.
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.nodes_total == 0 {
+            0.0
+        } else {
+            1.0 - self.nodes_visited as f64 / self.nodes_total as f64
+        }
+    }
+}
+
+/// The result of a HyPE run: the answer set and the run's statistics.
+#[derive(Debug, Clone)]
+pub struct HypeResult {
+    /// The answer `n[[M]]`.
+    pub answers: BTreeSet<NodeId>,
+    /// Traversal statistics.
+    pub stats: HypeStats,
+}
+
+/// Evaluates `mfa` at the root of `tree` with plain HyPE (no index).
+pub fn evaluate(tree: &XmlTree, mfa: &Mfa) -> HypeResult {
+    evaluate_at_with(tree, tree.root(), mfa, None)
+}
+
+/// Evaluates `mfa` at `context` with plain HyPE (no index).
+pub fn evaluate_at(tree: &XmlTree, context: NodeId, mfa: &Mfa) -> HypeResult {
+    evaluate_at_with(tree, context, mfa, None)
+}
+
+/// Evaluates `mfa` at the root of `tree` with an OptHyPE(-C) index.
+pub fn evaluate_with_index(tree: &XmlTree, mfa: &Mfa, index: &ReachabilityIndex) -> HypeResult {
+    evaluate_at_with(tree, tree.root(), mfa, Some(index))
+}
+
+/// Evaluates `mfa` at `context`, optionally with an OptHyPE(-C) index.
+pub fn evaluate_at_with(
+    tree: &XmlTree,
+    context: NodeId,
+    mfa: &Mfa,
+    index: Option<&ReachabilityIndex>,
+) -> HypeResult {
+    let mut engine = Engine::new(tree, mfa, index);
+    engine.run(context)
+}
+
+// ---------------------------------------------------------------------------
+// The candidate-answer DAG.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CansVertex {
+    node: NodeId,
+    is_final: bool,
+    /// `false` once the state's AFA evaluated to false at `node`.
+    valid: bool,
+    edges: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------------
+// The engine proper.
+// ---------------------------------------------------------------------------
+
+struct Engine<'a> {
+    tree: &'a XmlTree,
+    mfa: &'a Mfa,
+    label_map: LabelMap,
+    index: Option<&'a ReachabilityIndex>,
+    /// Per document label: for every NFA state, whether a final state is
+    /// reachable from it using only transitions whose labels may occur
+    /// below an element with that label (wildcards always may). Lazily
+    /// populated; used by the OptHyPE pruning rule.
+    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
+    /// Per document label, per AFA, per AFA state: whether the filter value
+    /// could possibly be true inside such a subtree (a final or a negation
+    /// is reachable through transitions allowed below the label).
+    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
+    cans: Vec<CansVertex>,
+    stats: HypeStats,
+}
+
+type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
+
+impl<'a> Engine<'a> {
+    fn new(tree: &'a XmlTree, mfa: &'a Mfa, index: Option<&'a ReachabilityIndex>) -> Self {
+        Engine {
+            tree,
+            mfa,
+            label_map: LabelMap::new(mfa, tree.labels()),
+            index,
+            nfa_accept_below: HashMap::new(),
+            afa_true_below: HashMap::new(),
+            cans: Vec::new(),
+            stats: HypeStats::default(),
+        }
+    }
+
+    fn run(&mut self, context: NodeId) -> HypeResult {
+        self.stats.nodes_total = self.tree.subtree_size(context);
+        let start = self.mfa.nfa().start();
+        let init_vertices = self.visit(context, vec![start], Vec::new(), &[]).1;
+
+        // Phase 2: traverse `cans` from the initial vertices through valid
+        // vertices only, collecting the nodes attached to final states.
+        let mut answers = BTreeSet::new();
+        let mut seen = vec![false; self.cans.len()];
+        let mut stack: Vec<u32> = init_vertices
+            .iter()
+            .filter(|&&v| self.cans[v as usize].valid)
+            .copied()
+            .collect();
+        for &v in &stack {
+            seen[v as usize] = true;
+        }
+        while let Some(v) = stack.pop() {
+            let is_final = self.cans[v as usize].is_final;
+            if is_final {
+                answers.insert(self.cans[v as usize].node);
+            }
+            let edges = self.cans[v as usize].edges.clone();
+            for next in edges {
+                if !seen[next as usize] && self.cans[next as usize].valid {
+                    seen[next as usize] = true;
+                    stack.push(next);
+                }
+            }
+        }
+
+        self.stats.cans_vertices = self.cans.len();
+        self.stats.cans_edges = self.cans.iter().map(|v| v.edges.len()).sum();
+        HypeResult {
+            answers,
+            stats: self.stats,
+        }
+    }
+
+    /// Visits `node`: builds its `cans` vertices, decides which children to
+    /// descend into, evaluates the pending filter states bottom-up, and
+    /// returns (filter values computed at `node`, vertex ids of the entry
+    /// states at `node` — used as the `Init` set for the context node).
+    fn visit(
+        &mut self,
+        node: NodeId,
+        entry_states: Vec<StateId>,
+        requests: Vec<(AfaId, AfaStateId)>,
+        parent_vertices: &[(StateId, u32)],
+    ) -> (AfaValues, Vec<u32>) {
+        self.stats.nodes_visited += 1;
+        let nfa = self.mfa.nfa();
+        let mstates = nfa.eps_closure(&entry_states);
+
+        // Vertices for every state assumed at this node.
+        let mut vertex_of: HashMap<StateId, u32> = HashMap::with_capacity(mstates.len());
+        for &s in &mstates {
+            let idx = self.cans.len() as u32;
+            self.cans.push(CansVertex {
+                node,
+                is_final: nfa.state(s).is_final,
+                valid: true,
+                edges: Vec::new(),
+            });
+            vertex_of.insert(s, idx);
+        }
+        // Within-node ε edges.
+        for &s in &mstates {
+            let from = vertex_of[&s];
+            for &t in &nfa.state(s).eps {
+                if let Some(&to) = vertex_of.get(&t) {
+                    self.cans[from as usize].edges.push(to);
+                }
+            }
+        }
+        // Edges from the parent's vertices into this node's entry states.
+        let node_label = self.tree.label(node);
+        for &(sp, vp) in parent_vertices {
+            for &(t, tgt) in &nfa.state(sp).trans {
+                if self.label_map.matches(t, node_label) {
+                    if let Some(&to) = vertex_of.get(&tgt) {
+                        self.cans[vp as usize].edges.push(to);
+                    }
+                }
+            }
+        }
+
+        // Filters triggered here (λ annotations) plus those requested by the
+        // parent, closed under operator-state successors.
+        let mut request_set: BTreeSet<(AfaId, AfaStateId)> = requests.into_iter().collect();
+        for &s in &mstates {
+            if let Some(afa) = nfa.state(s).afa {
+                request_set.insert((afa, self.mfa.afa(afa).start()));
+            }
+        }
+        let closure = self.close_requests(request_set);
+
+        // Descend into the children that can contribute.
+        let my_vertices: Vec<(StateId, u32)> =
+            mstates.iter().map(|&s| (s, vertex_of[&s])).collect();
+        let children: Vec<NodeId> = self.tree.children(node).to_vec();
+        let mut child_values: Vec<(NodeId, AfaValues)> = Vec::new();
+        for child in children {
+            let child_label = self.tree.label(child);
+            let mut entry_c: Vec<StateId> = Vec::new();
+            for &s in &mstates {
+                for &(t, tgt) in &nfa.state(s).trans {
+                    if self.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
+                        entry_c.push(tgt);
+                    }
+                }
+            }
+            let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
+            for &(afa, q) in &closure {
+                if let AfaState::Trans(t, tgt) = self.mfa.afa(afa).state(q) {
+                    if self.label_map.matches(*t, child_label)
+                        && !requests_c.contains(&(afa, *tgt))
+                    {
+                        requests_c.push((afa, *tgt));
+                    }
+                }
+            }
+            if entry_c.is_empty() && requests_c.is_empty() {
+                continue; // basic pruning: nothing can happen below
+            }
+            if self.can_skip_subtree(child, &entry_c, &requests_c) {
+                continue; // index pruning: all pending filter values are false
+            }
+            let (values, _) = self.visit(child, entry_c, requests_c, &my_vertices);
+            child_values.push((child, values));
+        }
+
+        // Bottom-up filter evaluation at this node.
+        let values = self.compute_values(node, &closure, &child_values);
+
+        // Invalidate vertices whose filter failed.
+        for &s in &mstates {
+            if let Some(afa) = nfa.state(s).afa {
+                let holds = values
+                    .get(&(afa, self.mfa.afa(afa).start()))
+                    .copied()
+                    .unwrap_or(false);
+                if !holds {
+                    self.cans[vertex_of[&s] as usize].valid = false;
+                }
+            }
+        }
+
+        let init = entry_states
+            .iter()
+            .filter_map(|s| vertex_of.get(s).copied())
+            .collect();
+        (values, init)
+    }
+
+    /// Closes a set of requested filter states under operator-state
+    /// successors (AND/OR/NOT ε-moves stay on the same node).
+    fn close_requests(
+        &self,
+        initial: BTreeSet<(AfaId, AfaStateId)>,
+    ) -> BTreeSet<(AfaId, AfaStateId)> {
+        let mut closure = initial.clone();
+        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
+        while let Some((afa, q)) = worklist.pop() {
+            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
+                AfaState::And(v) | AfaState::Or(v) => v.clone(),
+                AfaState::Not(x) => vec![*x],
+                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
+            };
+            for s in successors {
+                if closure.insert((afa, s)) {
+                    worklist.push((afa, s));
+                }
+            }
+        }
+        closure
+    }
+
+    // -----------------------------------------------------------------------
+    // OptHyPE pruning.
+    // -----------------------------------------------------------------------
+
+    /// `true` if the subtree rooted at `child` can be skipped: the DTD
+    /// guarantees that no selecting-NFA state pending there can reach a
+    /// final state, and every pending filter state is necessarily false.
+    fn can_skip_subtree(
+        &mut self,
+        child: NodeId,
+        entry_states: &[StateId],
+        requests: &[(AfaId, AfaStateId)],
+    ) -> bool {
+        if self.index.is_none() {
+            return false;
+        }
+        let label = self.tree.label(child);
+        let Some(index) = self.index else {
+            return false;
+        };
+        if index.allowed_below(label).is_none() {
+            return false; // label unknown to the DTD: no pruning information
+        }
+        if !self.nfa_accept_below.contains_key(&label) {
+            let table = self.compute_nfa_accept_below(label);
+            self.nfa_accept_below.insert(label, table);
+        }
+        let nfa_table = &self.nfa_accept_below[&label];
+        let closure = self.mfa.nfa().eps_closure(entry_states);
+        if closure.iter().any(|s| nfa_table[s.index()]) {
+            return false;
+        }
+        if requests.is_empty() {
+            return true;
+        }
+        if !self.afa_true_below.contains_key(&label) {
+            let table = self.compute_afa_true_below(label);
+            self.afa_true_below.insert(label, table);
+        }
+        let afa_table = &self.afa_true_below[&label];
+        requests
+            .iter()
+            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
+    }
+
+    /// Whether a label transition may fire inside a subtree whose root
+    /// carries `below_label`: wildcards always may, named labels only if the
+    /// DTD allows them below that element type.
+    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
+        match t {
+            Transition::Any => true,
+            Transition::Label(l) => {
+                let bit = l as usize;
+                allowed
+                    .get(bit / 64)
+                    .map(|w| w & (1 << (bit % 64)) != 0)
+                    .unwrap_or(false)
+            }
+        }
+    }
+
+    /// Per NFA state: can a final state be reached using only transitions
+    /// that may fire inside a subtree labelled `label`?
+    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let nfa = self.mfa.nfa();
+        let mut can = vec![false; nfa.len()];
+        for (id, state) in nfa.states() {
+            if state.is_final {
+                can[id.index()] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (id, state) in nfa.states() {
+                if can[id.index()] {
+                    continue;
+                }
+                let reach = state.eps.iter().any(|e| can[e.index()])
+                    || state.trans.iter().any(|&(t, tgt)| {
+                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
+                    });
+                if reach {
+                    can[id.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        can
+    }
+
+    /// Per AFA state: could its value be true at some node inside a subtree
+    /// labelled `label`? Over-approximated: a reachable final state or any
+    /// reachable negation makes the answer "maybe".
+    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let mut out = Vec::with_capacity(self.mfa.afas().len());
+        for afa in self.mfa.afas() {
+            let mut maybe = vec![false; afa.len()];
+            for (id, state) in afa.states() {
+                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
+                    maybe[id.index()] = true;
+                }
+            }
+            loop {
+                let mut changed = false;
+                for (id, state) in afa.states() {
+                    if maybe[id.index()] {
+                        continue;
+                    }
+                    let reach = match state {
+                        AfaState::And(v) | AfaState::Or(v) => {
+                            v.iter().any(|s| maybe[s.index()])
+                        }
+                        AfaState::Not(_) | AfaState::Final(_) => true,
+                        AfaState::Trans(t, tgt) => {
+                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
+                        }
+                    };
+                    if reach {
+                        maybe[id.index()] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            out.push(maybe);
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------------
+    // Bottom-up filter evaluation.
+    // -----------------------------------------------------------------------
+
+    /// Computes the Boolean variables `X(node, state)` for every filter
+    /// state in `closure`, using the children's already-computed values.
+    fn compute_values(
+        &mut self,
+        node: NodeId,
+        closure: &BTreeSet<(AfaId, AfaStateId)>,
+        child_values: &[(NodeId, AfaValues)],
+    ) -> AfaValues {
+        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
+        for &(afa, q) in closure {
+            let mut in_progress = BTreeSet::new();
+            self.value_of(node, afa, q, child_values, &mut memo, &mut in_progress);
+        }
+        memo
+    }
+
+    fn value_of(
+        &mut self,
+        node: NodeId,
+        afa: AfaId,
+        q: AfaStateId,
+        child_values: &[(NodeId, AfaValues)],
+        memo: &mut AfaValues,
+        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
+    ) -> bool {
+        if let Some(&v) = memo.get(&(afa, q)) {
+            return v;
+        }
+        if !in_progress.insert((afa, q)) {
+            // ε-cycle among operator states (degenerate `(.)*` filters):
+            // the least fix-point is false.
+            return false;
+        }
+        self.stats.afa_values_computed += 1;
+        let value = match self.mfa.afa(afa).state(q).clone() {
+            AfaState::Final(pred) => match pred {
+                FinalPredicate::True => true,
+                FinalPredicate::False => false,
+                FinalPredicate::TextEq(ref value) => {
+                    self.tree.text(node) == Some(value.as_str())
+                }
+            },
+            AfaState::Not(x) => !self.value_of(node, afa, x, child_values, memo, in_progress),
+            AfaState::And(children) => children
+                .iter()
+                .all(|&c| self.value_of(node, afa, c, child_values, memo, in_progress)),
+            AfaState::Or(children) => children
+                .iter()
+                .any(|&c| self.value_of(node, afa, c, child_values, memo, in_progress)),
+            AfaState::Trans(t, tgt) => child_values.iter().any(|(child, values)| {
+                self.label_map.matches(t, self.tree.label(*child))
+                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
+            }),
+        };
+        in_progress.remove(&(afa, q));
+        memo.insert((afa, q), value);
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_automata::{compile_query, evaluate_mfa_at};
+    use smoqe_xml::hospital::hospital_document_dtd;
+    use smoqe_xml::{XmlTree, XmlTreeBuilder};
+    use smoqe_xpath::parse_path;
+
+    /// The view-shaped tree of the paper's Fig. 4.
+    fn fig4_tree() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let n1 = b.root("hospital");
+        let n2 = b.child(n1, "patient");
+        let n3 = b.child(n2, "parent");
+        let n4 = b.child(n3, "patient");
+        let n5 = b.child(n4, "parent");
+        let n6 = b.child(n5, "patient");
+        let rec = b.child(n6, "record");
+        b.child_with_text(rec, "diagnosis", "lung disease");
+        let n7 = b.child(n2, "record");
+        b.child_with_text(n7, "diagnosis", "lung disease");
+        let n9 = b.child(n1, "patient");
+        let n10 = b.child(n9, "parent");
+        let n11 = b.child(n10, "patient");
+        let n12 = b.child(n11, "record");
+        b.child_with_text(n12, "diagnosis", "heart disease");
+        let n14 = b.child(n9, "record");
+        b.child_with_text(n14, "diagnosis", "brain disease");
+        b.finish()
+    }
+
+    /// A small document conforming to the hospital DTD, for index tests.
+    fn hospital_doc() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        let dept = b.child(root, "department");
+        b.child_with_text(dept, "name", "Cardiology");
+        for (name, diag) in [("Alice", "heart disease"), ("Bob", "flu"), ("Carol", "heart disease")] {
+            let p = b.child(dept, "patient");
+            b.child_with_text(p, "pname", name);
+            let addr = b.child(p, "address");
+            b.child_with_text(addr, "street", "s");
+            b.child_with_text(addr, "city", "c");
+            b.child_with_text(addr, "zip", "z");
+            let v = b.child(p, "visit");
+            b.child_with_text(v, "date", "2006-01-01");
+            let t = b.child(v, "treatment");
+            let m = b.child(t, "medication");
+            b.child_with_text(m, "type", "tablet");
+            b.child_with_text(m, "diagnosis", diag);
+            let d = b.child(dept, "doctor");
+            b.child_with_text(d, "dname", "Dr X");
+            b.child_with_text(d, "specialty", "cardiology");
+        }
+        b.finish()
+    }
+
+    /// HyPE must agree with the naive MFA evaluator.
+    fn assert_hype_matches_naive(tree: &XmlTree, query: &str) {
+        let q = parse_path(query).unwrap();
+        let mfa = compile_query(&q);
+        let expected = evaluate_mfa_at(tree, tree.root(), &mfa);
+        let basic = evaluate(tree, &mfa);
+        assert_eq!(basic.answers, expected, "HyPE differs on `{query}`");
+        assert!(basic.stats.nodes_visited <= basic.stats.nodes_total);
+    }
+
+    #[test]
+    fn matches_naive_on_plain_paths() {
+        let t = fig4_tree();
+        assert_hype_matches_naive(&t, "patient");
+        assert_hype_matches_naive(&t, "patient/parent/patient");
+        assert_hype_matches_naive(&t, "patient/record/diagnosis");
+    }
+
+    #[test]
+    fn matches_naive_on_stars_and_descendants() {
+        let t = fig4_tree();
+        assert_hype_matches_naive(&t, "(patient/parent)*/patient");
+        assert_hype_matches_naive(&t, "//diagnosis");
+        assert_hype_matches_naive(&t, "patient//record");
+    }
+
+    #[test]
+    fn matches_naive_on_filters() {
+        let t = fig4_tree();
+        assert_hype_matches_naive(&t, "patient[record]");
+        assert_hype_matches_naive(&t, "patient[not(record)]");
+        assert_hype_matches_naive(&t, "patient[record/diagnosis/text()='brain disease']");
+        assert_hype_matches_naive(
+            &t,
+            "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
+        );
+        assert_hype_matches_naive(
+            &t,
+            "patient[*//record/diagnosis/text()='heart disease']",
+        );
+        assert_hype_matches_naive(&t, "patient[record and not(parent)]");
+        assert_hype_matches_naive(&t, "patient[record or parent]");
+    }
+
+    #[test]
+    fn fig4_answer_is_nodes_9_and_11() {
+        // The paper's running evaluation example: Q0 selects the two
+        // patients on the heart-disease branch.
+        let t = fig4_tree();
+        let q = parse_path(
+            "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
+        )
+        .unwrap();
+        let mfa = compile_query(&q);
+        let result = evaluate(&t, &mfa);
+        let labels: Vec<&str> = result
+            .answers
+            .iter()
+            .map(|&n| t.label_name(n))
+            .collect();
+        assert_eq!(result.answers.len(), 2);
+        assert!(labels.iter().all(|&l| l == "patient"));
+    }
+
+    #[test]
+    fn index_variants_agree_with_basic_hype() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        for query in [
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+            "department/patient/pname",
+            "//diagnosis",
+            "//zip",
+            "department/patient[visit/treatment/test]",
+            "department/doctor[specialty/text()='cardiology']/dname",
+            "department/doctor[diagnosis]",
+            "department/patient[not(visit)]",
+        ] {
+            let q = parse_path(query).unwrap();
+            let mfa = compile_query(&q);
+            let plain = evaluate(&doc, &mfa);
+            let naive = evaluate_mfa_at(&doc, doc.root(), &mfa);
+            assert_eq!(plain.answers, naive, "HyPE differs on `{query}`");
+            let opt_index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+            let opt = evaluate_with_index(&doc, &mfa, &opt_index);
+            let optc_index = ReachabilityIndex::new_compressed(&mfa, &dtd, doc.labels());
+            let optc = evaluate_with_index(&doc, &mfa, &optc_index);
+            assert_eq!(plain.answers, opt.answers, "OptHyPE differs on `{query}`");
+            assert_eq!(plain.answers, optc.answers, "OptHyPE-C differs on `{query}`");
+            assert!(
+                opt.stats.nodes_visited <= plain.stats.nodes_visited,
+                "index must not visit more nodes (`{query}`)"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_skips_irrelevant_subtrees() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        // The query only cares about pname; address/visit/doctor subtrees
+        // are irrelevant and must be skipped even by basic HyPE.
+        let q = parse_path("department/patient/pname").unwrap();
+        let mfa = compile_query(&q);
+        let basic = evaluate(&doc, &mfa);
+        assert!(basic.stats.pruned_fraction() > 0.3, "basic pruning too weak");
+        let index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+        let opt = evaluate_with_index(&doc, &mfa, &index);
+        assert!(opt.stats.nodes_visited <= basic.stats.nodes_visited);
+    }
+
+    #[test]
+    fn index_prunes_descendant_queries_that_basic_hype_cannot() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        // `//zip`: plain HyPE must visit essentially the whole document (the
+        // wildcard loop matches everything); OptHyPE knows from the DTD that
+        // zip can only occur below address and skips everything else.
+        let q = parse_path("//zip").unwrap();
+        let mfa = compile_query(&q);
+        let basic = evaluate(&doc, &mfa);
+        let index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+        let opt = evaluate_with_index(&doc, &mfa, &index);
+        assert_eq!(basic.answers, opt.answers);
+        assert_eq!(basic.answers.len(), 3);
+        assert!(
+            opt.stats.nodes_visited * 2 < basic.stats.nodes_visited,
+            "expected OptHyPE ({}) to visit far fewer nodes than HyPE ({})",
+            opt.stats.nodes_visited,
+            basic.stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn negated_filters_disable_unsafe_pruning() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        // not(//diagnosis) is true at doctors even though no diagnosis can
+        // occur below them; the index must not assume the filter is false.
+        let q = parse_path("department/doctor[not(.//diagnosis)]").unwrap();
+        let mfa = compile_query(&q);
+        let basic = evaluate(&doc, &mfa);
+        let index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+        let opt = evaluate_with_index(&doc, &mfa, &index);
+        assert_eq!(basic.answers, opt.answers);
+        assert_eq!(basic.answers.len(), 3, "all three doctors qualify");
+    }
+
+    #[test]
+    fn evaluation_from_inner_context() {
+        let t = fig4_tree();
+        let q = parse_path("parent/patient[record/diagnosis/text()='heart disease']").unwrap();
+        let mfa = compile_query(&q);
+        for ctx in t.node_ids() {
+            let expected = evaluate_mfa_at(&t, ctx, &mfa);
+            let got = evaluate_at(&t, ctx, &mfa);
+            assert_eq!(got.answers, expected, "context {ctx:?}");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let t = fig4_tree();
+        let q = parse_path("(patient/parent)*/patient[record]").unwrap();
+        let mfa = compile_query(&q);
+        let r = evaluate(&t, &mfa);
+        assert_eq!(r.stats.nodes_total, t.len());
+        assert!(r.stats.nodes_visited > 0);
+        assert!(r.stats.cans_vertices > 0);
+        assert!(r.stats.afa_values_computed > 0);
+        assert!(r.stats.pruned_fraction() >= 0.0 && r.stats.pruned_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn empty_answer_queries() {
+        let t = fig4_tree();
+        assert_hype_matches_naive(&t, "doctor");
+        assert_hype_matches_naive(&t, "patient[visit]");
+        let q = parse_path("doctor").unwrap();
+        let mfa = compile_query(&q);
+        let r = evaluate(&t, &mfa);
+        assert!(r.answers.is_empty());
+        // Nothing matches at the root's children, so only the root is visited.
+        assert_eq!(r.stats.nodes_visited, 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # smoqe-hype
+//!
+//! **HyPE** (Hybrid Pass Evaluation, Section 6 of the paper): evaluation of
+//! MFAs — and therefore of regular XPath queries and of rewritten queries
+//! over views — in a **single top-down pass** over the document tree plus a
+//! single pass over a small auxiliary structure.
+//!
+//! During the depth-first traversal the algorithm simultaneously:
+//!
+//! * runs the selecting NFA top-down (`mstates`), pruning subtrees that no
+//!   automaton state can make progress in,
+//! * evaluates the AFAs (filters) *bottom-up on the same pass* (`fstates↓`
+//!   requests flowing down, Boolean values flowing back up),
+//! * records candidate answers in a DAG (`cans`) whose vertices are
+//!   `(node, state)` pairs; vertices whose AFA turned out false are marked
+//!   invalid, and a final traversal of `cans` from the initial vertices
+//!   yields exactly the answer set.
+//!
+//! The complexity is `O(|T|·|M|)` time and space (Theorem 6.1); together
+//! with the rewriting algorithm this gives linear data complexity for
+//! answering queries on virtual views (Theorem 6.2).
+//!
+//! Two optimised variants are provided, mirroring the paper's **OptHyPE**
+//! and **OptHyPE-C**: both consult a DTD-derived [`ReachabilityIndex`]
+//! telling which labels can occur below an element of a given type, letting
+//! the evaluator skip subtrees in which neither the NFA nor any pending AFA
+//! can ever fire another transition; the `-C` variant stores the index
+//! compressed (deduplicated rows), trading a little lookup indirection for
+//! memory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod index;
+
+pub use engine::{evaluate, evaluate_at, evaluate_at_with, evaluate_with_index, HypeResult, HypeStats};
+pub use index::ReachabilityIndex;

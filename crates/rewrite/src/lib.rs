@@ -1,0 +1,33 @@
+//! # smoqe-rewrite
+//!
+//! The paper's central contribution: rewriting (regular) XPath queries
+//! posed on a (possibly recursively defined) XML view into equivalent
+//! queries on the underlying document.
+//!
+//! Two rewriters are provided:
+//!
+//! * [`rewrite_to_mfa`] — Algorithm `rewrite` of Section 5: the query on
+//!   the view is translated into an **MFA over the document**, of size
+//!   `O(|Q|·|σ|·|DV|)` (Theorem 5.1). This is the practical path used by
+//!   the SMOQE engine; the resulting MFA is evaluated by HyPE
+//!   (`smoqe-hype`) in a single pass over the document.
+//! * [`direct::rewrite_to_xreg`] — the *direct* `Xreg`-to-`Xreg` rewriting
+//!   whose output is an explicit regular XPath expression. It exists to
+//!   demonstrate Corollary 3.3: the explicit rewriting can be exponential
+//!   in `|Q|` and `|DV|`, which is precisely why MFAs are needed. It is
+//!   also a second, independent implementation used in differential tests.
+//!
+//! Both rewriters assume a complete view definition (`σ(A,B)` for every
+//! edge of the view DTD); `//` and `*` in the query are first expanded over
+//! the **view** DTD (not the document DTD!) — this is the subtlety of
+//! Example 1.1 that makes the XPath fragment non-closed under rewriting
+//! over recursive views.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod direct;
+pub mod mfa_rewrite;
+
+pub use direct::{rewrite_to_xreg, DirectRewriting};
+pub use mfa_rewrite::{rewrite_to_mfa, RewriteError};

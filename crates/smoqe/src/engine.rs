@@ -1,0 +1,322 @@
+//! The SMOQE engine: view-based query answering and the stand-alone
+//! regular XPath engine.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use smoqe_automata::Mfa;
+use smoqe_hype::{HypeResult, ReachabilityIndex};
+use smoqe_rewrite::{rewrite_to_mfa, RewriteError};
+use smoqe_views::{hospital_view, ViewDefinition, ViewError};
+use smoqe_xml::{Dtd, NodeId, XmlTree};
+use smoqe_xpath::{parse_path, ParseQueryError, Path};
+
+/// Errors surfaced by the engine API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The query text does not parse.
+    Query(ParseQueryError),
+    /// The view definition is incomplete or inconsistent.
+    View(ViewError),
+    /// The rewriting algorithm rejected the view.
+    Rewrite(RewriteError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(e) => write!(f, "{e}"),
+            EngineError::View(e) => write!(f, "{e}"),
+            EngineError::Rewrite(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ParseQueryError> for EngineError {
+    fn from(e: ParseQueryError) -> Self {
+        EngineError::Query(e)
+    }
+}
+impl From<ViewError> for EngineError {
+    fn from(e: ViewError) -> Self {
+        EngineError::View(e)
+    }
+}
+impl From<RewriteError> for EngineError {
+    fn from(e: RewriteError) -> Self {
+        EngineError::Rewrite(e)
+    }
+}
+
+/// Which HyPE variant to use when evaluating a compiled query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaluationMode {
+    /// Plain HyPE (no index).
+    #[default]
+    HyPE,
+    /// HyPE with the DTD reachability index.
+    OptHyPE,
+    /// HyPE with the compressed DTD reachability index.
+    OptHyPEC,
+}
+
+/// A query compiled (and, for view queries, rewritten) into an MFA, ready to
+/// be evaluated over documents any number of times.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    original: Path,
+    mfa: Mfa,
+}
+
+impl CompiledQuery {
+    /// The query as parsed.
+    pub fn query(&self) -> &Path {
+        &self.original
+    }
+
+    /// The compiled automaton.
+    pub fn mfa(&self) -> &Mfa {
+        &self.mfa
+    }
+
+    /// Evaluates the query at the root of `doc` with plain HyPE.
+    pub fn evaluate(&self, doc: &XmlTree) -> HypeResult {
+        smoqe_hype::evaluate(doc, &self.mfa)
+    }
+
+    /// Evaluates at an arbitrary context node.
+    pub fn evaluate_at(&self, doc: &XmlTree, context: NodeId) -> HypeResult {
+        smoqe_hype::evaluate_at(doc, context, &self.mfa)
+    }
+
+    /// Builds the OptHyPE(-C) index for documents of `document_dtd` that use
+    /// `doc`'s label interner.
+    pub fn build_index(&self, document_dtd: &Dtd, doc: &XmlTree, compressed: bool) -> ReachabilityIndex {
+        if compressed {
+            ReachabilityIndex::new_compressed(&self.mfa, document_dtd, doc.labels())
+        } else {
+            ReachabilityIndex::new(&self.mfa, document_dtd, doc.labels())
+        }
+    }
+
+    /// Evaluates with the requested HyPE variant, building the index on the
+    /// fly for the Opt variants.
+    pub fn evaluate_with_mode(
+        &self,
+        doc: &XmlTree,
+        document_dtd: &Dtd,
+        mode: EvaluationMode,
+    ) -> HypeResult {
+        match mode {
+            EvaluationMode::HyPE => smoqe_hype::evaluate(doc, &self.mfa),
+            EvaluationMode::OptHyPE => {
+                let index = self.build_index(document_dtd, doc, false);
+                smoqe_hype::evaluate_with_index(doc, &self.mfa, &index)
+            }
+            EvaluationMode::OptHyPEC => {
+                let index = self.build_index(document_dtd, doc, true);
+                smoqe_hype::evaluate_with_index(doc, &self.mfa, &index)
+            }
+        }
+    }
+}
+
+/// The view-based query answering engine.
+///
+/// Holds one view definition `σ : D → DV`; queries posed against the view
+/// are rewritten to MFAs over `D` and evaluated directly on the underlying
+/// documents.
+#[derive(Debug, Clone)]
+pub struct SmoqeEngine {
+    view: ViewDefinition,
+}
+
+impl SmoqeEngine {
+    /// Creates an engine for `view`, validating the view definition.
+    pub fn new(view: ViewDefinition) -> Result<Self, EngineError> {
+        view.check()?;
+        Ok(SmoqeEngine { view })
+    }
+
+    /// The engine for the paper's running example: the heart-disease
+    /// research view σ₀ over the hospital document DTD (Fig. 1).
+    pub fn hospital_demo() -> Self {
+        SmoqeEngine {
+            view: hospital_view(),
+        }
+    }
+
+    /// The view this engine answers queries against.
+    pub fn view(&self) -> &ViewDefinition {
+        &self.view
+    }
+
+    /// Parses and rewrites a query posed on the view into a reusable
+    /// [`CompiledQuery`] over the underlying document DTD.
+    pub fn compile(&self, query: &str) -> Result<CompiledQuery, EngineError> {
+        let parsed = parse_path(query)?;
+        self.compile_path(&parsed)
+    }
+
+    /// Rewrites an already-parsed query posed on the view.
+    pub fn compile_path(&self, query: &Path) -> Result<CompiledQuery, EngineError> {
+        let mfa = rewrite_to_mfa(query, &self.view)?;
+        Ok(CompiledQuery {
+            original: query.clone(),
+            mfa,
+        })
+    }
+
+    /// One-shot convenience: parse, rewrite and evaluate `query` over `doc`,
+    /// returning the origin nodes (in the source document) of the view nodes
+    /// the query selects.
+    pub fn answer(&self, query: &str, doc: &XmlTree) -> Result<BTreeSet<NodeId>, EngineError> {
+        Ok(self.compile(query)?.evaluate(doc).answers)
+    }
+
+    /// Like [`Self::answer`] but also returns HyPE's execution statistics.
+    pub fn answer_with_stats(
+        &self,
+        query: &str,
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<HypeResult, EngineError> {
+        let compiled = self.compile(query)?;
+        Ok(compiled.evaluate_with_mode(doc, self.view.document_dtd(), mode))
+    }
+}
+
+/// The stand-alone regular XPath engine: no view involved, queries are
+/// compiled straight to MFAs and evaluated with HyPE. This is the engine the
+/// paper's Section 7 benchmarks exercise for plain documents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegularXPathEngine;
+
+impl RegularXPathEngine {
+    /// Compiles a regular XPath query into an MFA-backed [`CompiledQuery`].
+    pub fn compile(query: &str) -> Result<CompiledQuery, EngineError> {
+        let parsed = parse_path(query)?;
+        Ok(Self::compile_path(&parsed))
+    }
+
+    /// Compiles an already-parsed regular XPath query.
+    pub fn compile_path(query: &Path) -> CompiledQuery {
+        CompiledQuery {
+            original: query.clone(),
+            mfa: smoqe_automata::compile_query(query),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_toxgene::{generate_hospital, HospitalConfig};
+    use smoqe_views::materialize;
+    use smoqe_xml::hospital::{hospital_document_dtd, HEART_DISEASE};
+    use smoqe_xpath::evaluate;
+
+    fn small_doc() -> XmlTree {
+        generate_hospital(&HospitalConfig {
+            patients: 40,
+            heart_disease_fraction: 0.4,
+            max_ancestor_depth: 2,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn engine_answers_match_materialize_then_evaluate() {
+        let doc = small_doc();
+        let engine = SmoqeEngine::hospital_demo();
+        let materialized = materialize(engine.view(), &doc).unwrap();
+        for query in [
+            "patient",
+            "patient/record/diagnosis",
+            "patient[*//record/diagnosis/text()='heart disease']",
+            "(patient/parent)*/patient[record]",
+            "patient[not(parent)]",
+        ] {
+            let by_engine = engine.answer(query, &doc).unwrap();
+            let q = parse_path(query).unwrap();
+            let on_view = evaluate(&materialized.tree, materialized.tree.root(), &q);
+            let expected = materialized.origins_of(&on_view);
+            assert_eq!(by_engine, expected, "engine differs on `{query}`");
+        }
+    }
+
+    #[test]
+    fn all_evaluation_modes_agree() {
+        let doc = small_doc();
+        let engine = SmoqeEngine::hospital_demo();
+        let query = format!("patient[*//record/diagnosis/text()='{HEART_DISEASE}']");
+        let base = engine
+            .answer_with_stats(&query, &doc, EvaluationMode::HyPE)
+            .unwrap();
+        let opt = engine
+            .answer_with_stats(&query, &doc, EvaluationMode::OptHyPE)
+            .unwrap();
+        let optc = engine
+            .answer_with_stats(&query, &doc, EvaluationMode::OptHyPEC)
+            .unwrap();
+        assert_eq!(base.answers, opt.answers);
+        assert_eq!(base.answers, optc.answers);
+        assert!(opt.stats.nodes_visited <= base.stats.nodes_visited);
+    }
+
+    #[test]
+    fn compiled_queries_are_reusable_across_documents() {
+        let engine = SmoqeEngine::hospital_demo();
+        let compiled = engine.compile("patient/record/diagnosis").unwrap();
+        for seed in [1u64, 2, 3] {
+            let doc = generate_hospital(&HospitalConfig {
+                patients: 10,
+                seed,
+                ..Default::default()
+            });
+            let direct = engine.answer("patient/record/diagnosis", &doc).unwrap();
+            assert_eq!(compiled.evaluate(&doc).answers, direct);
+        }
+    }
+
+    #[test]
+    fn standalone_regular_xpath_engine() {
+        let doc = small_doc();
+        let compiled = RegularXPathEngine::compile(
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']/pname",
+        )
+        .unwrap();
+        let result = compiled.evaluate(&doc);
+        let q = compiled.query().clone();
+        let expected = evaluate(&doc, doc.root(), &q);
+        assert_eq!(result.answers, expected);
+        // The index variants agree too.
+        let dtd = hospital_document_dtd();
+        let opt = compiled.evaluate_with_mode(&doc, &dtd, EvaluationMode::OptHyPE);
+        assert_eq!(opt.answers, expected);
+    }
+
+    #[test]
+    fn query_errors_are_reported() {
+        let engine = SmoqeEngine::hospital_demo();
+        let doc = small_doc();
+        assert!(matches!(
+            engine.answer("patient[", &doc),
+            Err(EngineError::Query(_))
+        ));
+    }
+
+    #[test]
+    fn security_confidential_data_is_not_reachable_through_the_view() {
+        // The institute can never select pname, address or doctor data, and
+        // never sees sibling-only patients, whatever query it poses on the view.
+        let doc = small_doc();
+        let engine = SmoqeEngine::hospital_demo();
+        for query in ["pname", "patient/pname", "//pname", "//doctor", "//sibling", "//address"] {
+            let answers = engine.answer(query, &doc).unwrap();
+            assert!(answers.is_empty(), "`{query}` must be empty on the view");
+        }
+    }
+}

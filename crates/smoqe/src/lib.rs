@@ -1,0 +1,54 @@
+//! # smoqe
+//!
+//! **SMOQE** — a Secure MOdular Query Engine: the end-to-end system of the
+//! paper *Rewriting Regular XPath Queries on XML Views* (Fan, Geerts, Jia,
+//! Kementsietsidis, ICDE 2007), assembled from the workspace crates:
+//!
+//! * a user poses a (regular) XPath query against a **virtual XML view**
+//!   (typically a security view hiding confidential data),
+//! * the engine **rewrites** the query into a mixed finite state automaton
+//!   (MFA) over the underlying document ([`smoqe_rewrite::rewrite_to_mfa`]),
+//! * the MFA is evaluated over the document in a **single pass** with HyPE
+//!   ([`smoqe_hype`]), optionally using the OptHyPE / OptHyPE-C indexes,
+//! * the answer is returned without ever materializing the view.
+//!
+//! The same machinery doubles as a stand-alone **regular XPath engine**
+//! ([`RegularXPathEngine`]) — per the paper, the first practical evaluator
+//! for regular XPath queries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use smoqe::SmoqeEngine;
+//! use smoqe_toxgene::{generate_hospital, HospitalConfig};
+//!
+//! // A synthetic hospital document (the underlying, confidential data).
+//! let doc = generate_hospital(&HospitalConfig { patients: 25, ..Default::default() });
+//!
+//! // The research-institute security view σ₀ of the paper's Fig. 1.
+//! let engine = SmoqeEngine::hospital_demo();
+//!
+//! // A query over the *view*: heart-disease patients one of whose ancestors
+//! // also had heart disease. Answered on the source, without materializing.
+//! let answers = engine
+//!     .answer("patient[*//record/diagnosis/text()='heart disease']", &doc)
+//!     .unwrap();
+//! assert!(answers.iter().all(|&n| doc.label_name(n) == "patient"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+
+pub use engine::{CompiledQuery, EngineError, EvaluationMode, RegularXPathEngine, SmoqeEngine};
+
+// Re-export the subsystem crates so downstream users need a single dependency.
+pub use smoqe_automata as automata;
+pub use smoqe_baseline as baseline;
+pub use smoqe_hype as hype;
+pub use smoqe_rewrite as rewrite;
+pub use smoqe_toxgene as toxgene;
+pub use smoqe_views as views;
+pub use smoqe_xml as xml;
+pub use smoqe_xpath as xpath;

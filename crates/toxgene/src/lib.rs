@@ -1,0 +1,26 @@
+//! # smoqe-toxgene
+//!
+//! Synthetic XML data generation — the stand-in for the ToXGene generator
+//! used in the paper's experimental study (Section 7).
+//!
+//! The paper generates documents conforming to the recursive hospital DTD
+//! of Fig. 1(a), from 7 MB to 70 MB in 7 MB increments, where each
+//! increment "roughly corresponds to adding the medical history of 10,000
+//! patients", trees have maximal depth 13, and text nodes are small but
+//! numerous so that query selectivity can be controlled.
+//!
+//! [`generate_hospital`] reproduces exactly those knobs: number of
+//! patients, ancestor-chain depth (the source of DTD recursion), sibling
+//! probability, the fraction of patients diagnosed with heart disease
+//! (query selectivity) and a deterministic seed. [`dtd_random`] additionally
+//! provides a generic DTD-driven generator used by the property-based test
+//! suite to produce arbitrary conforming documents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dtd_random;
+pub mod hospital_gen;
+
+pub use dtd_random::{generate_from_dtd, DtdGenConfig};
+pub use hospital_gen::{generate_hospital, HospitalConfig};

@@ -1,0 +1,132 @@
+//! Serialization of [`XmlTree`]s back to XML text.
+//!
+//! Round-tripping through [`crate::parse_document`] preserves the tree
+//! structure and PCDATA (verified by property tests in the integration test
+//! suite), which lets the data generator write documents to disk and the
+//! benchmark harness report document sizes in bytes as the paper does.
+
+use crate::tree::{NodeId, XmlTree};
+
+/// Serializes the whole document on a single line.
+pub fn to_xml_string(tree: &XmlTree) -> String {
+    let mut out = String::with_capacity(tree.approximate_byte_size());
+    write_node(tree, tree.root(), &mut out, None, 0);
+    out
+}
+
+/// Serializes the document with two-space indentation, one element per line.
+pub fn to_xml_string_pretty(tree: &XmlTree) -> String {
+    let mut out = String::with_capacity(tree.approximate_byte_size() * 2);
+    write_node(tree, tree.root(), &mut out, Some(2), 0);
+    out
+}
+
+fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(step) = indent {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.extend(std::iter::repeat(' ').take(step * depth));
+        }
+    };
+    pad(out, depth);
+    let name = tree.label_name(id);
+    let children = tree.children(id);
+    let text = tree.text(id);
+    if children.is_empty() && text.is_none() {
+        out.push('<');
+        out.push_str(name);
+        out.push_str("/>");
+        return;
+    }
+    out.push('<');
+    out.push_str(name);
+    out.push('>');
+    if let Some(t) = text {
+        out.push_str(&escape(t));
+    }
+    for &c in children {
+        write_node(tree, c, out, indent, depth + 1);
+    }
+    if indent.is_some() && !children.is_empty() {
+        pad(out, depth);
+    }
+    out.push_str("</");
+    out.push_str(name);
+    out.push('>');
+}
+
+/// Escapes the characters that must be escaped in XML character data.
+pub fn escape(s: &str) -> String {
+    if !s.contains(['<', '>', '&', '"', '\'']) {
+        return s.to_owned();
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+    use crate::tree::XmlTreeBuilder;
+
+    fn sample() -> crate::tree::XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        let dept = b.child(root, "department");
+        let patient = b.child(dept, "patient");
+        b.child_with_text(patient, "pname", "Alice & Bob");
+        b.child(patient, "visit");
+        b.finish()
+    }
+
+    #[test]
+    fn serialize_then_parse_round_trips() {
+        let t = sample();
+        let xml = to_xml_string(&t);
+        let t2 = parse_document(&xml).unwrap();
+        assert_eq!(t.len(), t2.len());
+        assert_eq!(to_xml_string(&t2), xml);
+    }
+
+    #[test]
+    fn empty_elements_are_self_closed() {
+        let t = sample();
+        let xml = to_xml_string(&t);
+        assert!(xml.contains("<visit/>"));
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let t = sample();
+        let xml = to_xml_string(&t);
+        assert!(xml.contains("Alice &amp; Bob"));
+    }
+
+    #[test]
+    fn pretty_output_contains_newlines_and_round_trips() {
+        let t = sample();
+        let pretty = to_xml_string_pretty(&t);
+        assert!(pretty.contains('\n'));
+        let reparsed = parse_document(&pretty).unwrap();
+        assert_eq!(reparsed.len(), t.len());
+    }
+
+    #[test]
+    fn escape_passthrough_when_clean() {
+        assert_eq!(escape("heart disease"), "heart disease");
+        assert_eq!(escape("a<b"), "a&lt;b");
+    }
+}

@@ -1,0 +1,438 @@
+//! Arena-based XML document trees.
+//!
+//! An [`XmlTree`] owns all nodes of one document in a single `Vec`; nodes are
+//! addressed by dense [`NodeId`]s. This gives cache-friendly traversal, cheap
+//! cloning of node handles, and lets the evaluation algorithms of the paper
+//! (HyPE and the baselines) use plain integer-indexed side tables.
+
+use crate::error::XmlError;
+use crate::label::{LabelId, LabelInterner};
+
+/// Identifier of a node inside one [`XmlTree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize` index into the arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One element node of the document.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Interned element label (tag name).
+    pub label: LabelId,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Ordered child elements.
+    pub children: Vec<NodeId>,
+    /// PCDATA content of this element, if any.
+    ///
+    /// The paper's DTD normal form only allows `P(A) = str` elements to carry
+    /// text; we collapse that single text child onto the element itself.
+    pub text: Option<Box<str>>,
+}
+
+/// An XML document: an arena of element nodes plus the label interner used
+/// to intern their tags.
+#[derive(Debug, Clone)]
+pub struct XmlTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    labels: LabelInterner,
+}
+
+impl XmlTree {
+    /// Returns the root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Returns the node stored at `id`.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the label id of `id`.
+    #[inline]
+    pub fn label(&self, id: NodeId) -> LabelId {
+        self.nodes[id.index()].label
+    }
+
+    /// Returns the tag name of `id`.
+    #[inline]
+    pub fn label_name(&self, id: NodeId) -> &str {
+        self.labels.name(self.nodes[id.index()].label)
+    }
+
+    /// Returns the PCDATA content of `id`, if any.
+    #[inline]
+    pub fn text(&self, id: NodeId) -> Option<&str> {
+        self.nodes[id.index()].text.as_deref()
+    }
+
+    /// Returns the ordered children of `id`.
+    #[inline]
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Returns the parent of `id`, `None` for the root.
+    #[inline]
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.nodes[id.index()].parent
+    }
+
+    /// Number of element nodes in the document.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the tree has no nodes (never the case for built trees).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The label interner shared by this document.
+    #[inline]
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Number of nodes carrying text (the paper's "text nodes").
+    pub fn text_node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.text.is_some()).count()
+    }
+
+    /// Iterates over all node ids in document (pre-)order of creation.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Depth of `id` (root has depth 1, matching the paper's "maximal depth
+    /// of the trees is 13" convention).
+    pub fn depth(&self, mut id: NodeId) -> usize {
+        let mut d = 1;
+        while let Some(p) = self.parent(id) {
+            d += 1;
+            id = p;
+        }
+        d
+    }
+
+    /// Maximum depth over all nodes.
+    pub fn max_depth(&self) -> usize {
+        let mut depths = vec![0usize; self.nodes.len()];
+        let mut max = 0;
+        // Nodes are created parent-before-child by the builder and parser, so
+        // a single forward scan computes all depths.
+        for id in self.node_ids() {
+            let d = match self.parent(id) {
+                Some(p) => depths[p.index()] + 1,
+                None => 1,
+            };
+            depths[id.index()] = d;
+            max = max.max(d);
+        }
+        max
+    }
+
+    /// Returns the ids of all descendants of `id` (excluding `id` itself),
+    /// in pre-order.
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = self.children(id).iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            out.push(n);
+            for &c in self.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Returns the ids of `id` and all its descendants, in pre-order.
+    pub fn descendants_or_self(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = vec![id];
+        out.extend(self.descendants(id));
+        out
+    }
+
+    /// Counts the nodes in the subtree rooted at `id` (including `id`).
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        1 + self.descendants(id).len()
+    }
+
+    /// Checks basic structural invariants (parent/child consistency).
+    ///
+    /// Primarily used by tests and by the property-based test-suite.
+    pub fn check_consistency(&self) -> Result<(), XmlError> {
+        if self.nodes.is_empty() {
+            return Err(XmlError::InvalidNode(0));
+        }
+        for id in self.node_ids() {
+            let node = self.node(id);
+            for &c in &node.children {
+                if c.index() >= self.nodes.len() {
+                    return Err(XmlError::InvalidNode(c.0));
+                }
+                if self.parent(c) != Some(id) {
+                    return Err(XmlError::InvalidContent {
+                        element: self.label_name(id).to_owned(),
+                        reason: format!("child {:?} does not point back to its parent", c),
+                    });
+                }
+            }
+            if let Some(p) = node.parent {
+                if !self.children(p).contains(&id) {
+                    return Err(XmlError::InvalidContent {
+                        element: self.label_name(id).to_owned(),
+                        reason: "node is not listed among its parent's children".to_owned(),
+                    });
+                }
+            }
+        }
+        if self.parent(self.root).is_some() {
+            return Err(XmlError::InvalidContent {
+                element: self.label_name(self.root).to_owned(),
+                reason: "root has a parent".to_owned(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rough size of the serialized document in bytes; used by the benchmark
+    /// harness to report document sizes on the same scale as the paper (MB).
+    pub fn approximate_byte_size(&self) -> usize {
+        let mut total = 0;
+        for id in self.node_ids() {
+            // "<tag>" + "</tag>"
+            total += 2 * self.label_name(id).len() + 5;
+            if let Some(t) = self.text(id) {
+                total += t.len();
+            }
+        }
+        total
+    }
+}
+
+/// Incremental builder for [`XmlTree`]s.
+///
+/// ```
+/// use smoqe_xml::XmlTreeBuilder;
+///
+/// let mut b = XmlTreeBuilder::new();
+/// let root = b.root("hospital");
+/// let dept = b.child(root, "department");
+/// let name = b.child_with_text(dept, "name", "Cardiology");
+/// let tree = b.finish();
+/// assert_eq!(tree.label_name(tree.root()), "hospital");
+/// assert_eq!(tree.text(name), Some("Cardiology"));
+/// assert_eq!(tree.children(root), &[dept]);
+/// ```
+#[derive(Debug, Default)]
+pub struct XmlTreeBuilder {
+    nodes: Vec<Node>,
+    labels: LabelInterner,
+    root: Option<NodeId>,
+}
+
+impl XmlTreeBuilder {
+    /// Creates an empty builder with a fresh label interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder that reuses an existing interner, so label ids are
+    /// compatible with e.g. an already-compiled automaton.
+    pub fn with_interner(labels: LabelInterner) -> Self {
+        Self {
+            nodes: Vec::new(),
+            labels,
+            root: None,
+        }
+    }
+
+    /// Creates the root element. Must be called exactly once, first.
+    pub fn root(&mut self, label: &str) -> NodeId {
+        assert!(self.root.is_none(), "root() called twice");
+        let label = self.labels.intern(label);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label,
+            parent: None,
+            children: Vec::new(),
+            text: None,
+        });
+        self.root = Some(id);
+        id
+    }
+
+    /// Appends a child element labelled `label` under `parent`.
+    pub fn child(&mut self, parent: NodeId, label: &str) -> NodeId {
+        let label = self.labels.intern(label);
+        self.child_interned(parent, label)
+    }
+
+    /// Appends a child element with an already-interned label.
+    pub fn child_interned(&mut self, parent: NodeId, label: LabelId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+            text: None,
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a child element carrying PCDATA `text`.
+    pub fn child_with_text(&mut self, parent: NodeId, label: &str, text: &str) -> NodeId {
+        let id = self.child(parent, label);
+        self.nodes[id.index()].text = Some(text.into());
+        id
+    }
+
+    /// Sets or replaces the text of an existing node.
+    pub fn set_text(&mut self, node: NodeId, text: &str) {
+        self.nodes[node.index()].text = Some(text.into());
+    }
+
+    /// Access to the builder's interner (e.g. to pre-intern DTD labels).
+    pub fn labels_mut(&mut self) -> &mut LabelInterner {
+        &mut self.labels
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the builder into an immutable [`XmlTree`].
+    ///
+    /// # Panics
+    /// Panics if `root()` was never called.
+    pub fn finish(self) -> XmlTree {
+        let root = self.root.expect("finish() called before root()");
+        XmlTree {
+            nodes: self.nodes,
+            root,
+            labels: self.labels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_tree() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        let d1 = b.child(root, "department");
+        let p1 = b.child(d1, "patient");
+        b.child_with_text(p1, "pname", "Alice");
+        let d2 = b.child(root, "department");
+        let p2 = b.child(d2, "patient");
+        b.child_with_text(p2, "pname", "Bob");
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_consistent_tree() {
+        let t = small_tree();
+        assert_eq!(t.len(), 7);
+        t.check_consistency().unwrap();
+        assert_eq!(t.label_name(t.root()), "hospital");
+        assert_eq!(t.children(t.root()).len(), 2);
+    }
+
+    #[test]
+    fn text_is_stored_and_counted() {
+        let t = small_tree();
+        assert_eq!(t.text_node_count(), 2);
+        let pnames: Vec<_> = t
+            .node_ids()
+            .filter(|&n| t.label_name(n) == "pname")
+            .collect();
+        assert_eq!(t.text(pnames[0]), Some("Alice"));
+        assert_eq!(t.text(pnames[1]), Some("Bob"));
+    }
+
+    #[test]
+    fn descendants_are_preorder() {
+        let t = small_tree();
+        let desc = t.descendants(t.root());
+        assert_eq!(desc.len(), 6);
+        let labels: Vec<_> = desc.iter().map(|&n| t.label_name(n)).collect();
+        assert_eq!(
+            labels,
+            vec!["department", "patient", "pname", "department", "patient", "pname"]
+        );
+    }
+
+    #[test]
+    fn descendants_or_self_includes_self() {
+        let t = small_tree();
+        let all = t.descendants_or_self(t.root());
+        assert_eq!(all.len(), t.len());
+        assert_eq!(all[0], t.root());
+    }
+
+    #[test]
+    fn depth_and_max_depth() {
+        let t = small_tree();
+        assert_eq!(t.depth(t.root()), 1);
+        assert_eq!(t.max_depth(), 4);
+    }
+
+    #[test]
+    fn subtree_size_counts_self_and_descendants() {
+        let t = small_tree();
+        assert_eq!(t.subtree_size(t.root()), 7);
+        let dept = t.children(t.root())[0];
+        assert_eq!(t.subtree_size(dept), 3);
+    }
+
+    #[test]
+    fn approximate_byte_size_is_positive_and_monotone() {
+        let t = small_tree();
+        let single = {
+            let mut b = XmlTreeBuilder::new();
+            b.root("hospital");
+            b.finish()
+        };
+        assert!(t.approximate_byte_size() > single.approximate_byte_size());
+    }
+
+    #[test]
+    #[should_panic(expected = "root() called twice")]
+    fn double_root_panics() {
+        let mut b = XmlTreeBuilder::new();
+        b.root("a");
+        b.root("b");
+    }
+
+    #[test]
+    fn with_interner_shares_label_ids() {
+        let mut shared = LabelInterner::new();
+        let patient = shared.intern("patient");
+        let mut b = XmlTreeBuilder::with_interner(shared);
+        let root = b.root("hospital");
+        let c = b.child(root, "patient");
+        let t = b.finish();
+        assert_eq!(t.label(c), patient);
+    }
+}

@@ -1,0 +1,449 @@
+//! Abstract syntax for regular XPath (`Xreg`) and the XPath fragment `X`.
+//!
+//! A single AST covers both fragments of the paper: pure `Xreg` uses
+//! [`Path::Star`] for recursion, while the fragment `X` uses
+//! [`Path::DescendantOrSelf`] (`//`) and may use the wildcard step
+//! [`Path::AnyLabel`] (`*`). [`crate::expand::expand_on_dtd`] rewrites the
+//! latter two into pure `Xreg` over a DTD, as described in Section 2.1.
+
+use std::fmt;
+
+/// A path expression `Q` of the paper's grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// `ε` — the empty path (self).
+    Empty,
+    /// `A` — move to the children labelled `A`.
+    Label(String),
+    /// `*` — move to all children, whatever their label (wildcard step).
+    ///
+    /// Not part of the formal grammar but used by the paper's example
+    /// queries; expressible as the union of all labels of the DTD.
+    AnyLabel,
+    /// `//` — the descendant-or-self axis of the XPath fragment `X`.
+    ///
+    /// Expressible in `Xreg` as `(⋃ Ele)*` for the DTD's label set `Ele`.
+    DescendantOrSelf,
+    /// `Q1/Q2` — concatenation (child composition).
+    Seq(Box<Path>, Box<Path>),
+    /// `Q1 ∪ Q2` — union.
+    Union(Box<Path>, Box<Path>),
+    /// `Q*` — the general Kleene closure (regular XPath only).
+    Star(Box<Path>),
+    /// `Q[q]` — `Q` filtered by the predicate `q`.
+    Filter(Box<Path>, Box<Pred>),
+}
+
+/// A filter (predicate) `q` of the paper's grammar.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// `Q` — satisfied iff `Q` selects at least one node from here.
+    Exists(Path),
+    /// `Q/text() = 'c'` — satisfied iff some node selected by `Q` carries
+    /// exactly the text `c`.
+    TextEq(Path, String),
+    /// `¬ q`.
+    Not(Box<Pred>),
+    /// `q1 ∧ q2`.
+    And(Box<Pred>, Box<Pred>),
+    /// `q1 ∨ q2`.
+    Or(Box<Pred>, Box<Pred>),
+}
+
+impl Path {
+    /// Convenience constructor for a label step.
+    pub fn label(name: &str) -> Self {
+        Path::Label(name.to_owned())
+    }
+
+    /// `self / next`.
+    pub fn then(self, next: Path) -> Self {
+        Path::Seq(Box::new(self), Box::new(next))
+    }
+
+    /// `self ∪ other`.
+    pub fn or(self, other: Path) -> Self {
+        Path::Union(Box::new(self), Box::new(other))
+    }
+
+    /// `self*`.
+    pub fn star(self) -> Self {
+        Path::Star(Box::new(self))
+    }
+
+    /// `self[pred]`.
+    pub fn filter(self, pred: Pred) -> Self {
+        Path::Filter(Box::new(self), Box::new(pred))
+    }
+
+    /// Builds the chain `a/b/c/…` from a slice of labels.
+    ///
+    /// Sequences are right-nested (`a/(b/c)`), matching the shape produced
+    /// by the parser so that programmatically built queries compare equal to
+    /// parsed ones.
+    pub fn chain(labels: &[&str]) -> Self {
+        let mut iter = labels.iter().rev();
+        let last = iter.next().expect("chain of at least one label");
+        let mut path = Path::label(last);
+        for l in iter {
+            path = Path::Seq(Box::new(Path::label(l)), Box::new(path));
+        }
+        path
+    }
+
+    /// The size `|Q|` of the query: the number of AST nodes, the measure
+    /// used in the paper's complexity bounds (Theorem 5.1, Corollary 3.3).
+    pub fn size(&self) -> usize {
+        match self {
+            Path::Empty | Path::Label(_) | Path::AnyLabel | Path::DescendantOrSelf => 1,
+            Path::Seq(a, b) | Path::Union(a, b) => 1 + a.size() + b.size(),
+            Path::Star(a) => 1 + a.size(),
+            Path::Filter(p, q) => 1 + p.size() + q.size(),
+        }
+    }
+
+    /// `true` if the path contains a Kleene star anywhere (including inside
+    /// filters). Queries with stars are in `Xreg` but not in `X`.
+    pub fn contains_star(&self) -> bool {
+        match self {
+            Path::Empty | Path::Label(_) | Path::AnyLabel | Path::DescendantOrSelf => false,
+            Path::Seq(a, b) | Path::Union(a, b) => a.contains_star() || b.contains_star(),
+            Path::Star(_) => true,
+            Path::Filter(p, q) => p.contains_star() || q.contains_star(),
+        }
+    }
+
+    /// `true` if the path contains `//` or `*` steps, i.e. uses the XPath
+    /// fragment's syntax that must be expanded before automaton compilation
+    /// over a view.
+    pub fn contains_xpath_axes(&self) -> bool {
+        match self {
+            Path::Empty | Path::Label(_) => false,
+            Path::AnyLabel | Path::DescendantOrSelf => true,
+            Path::Seq(a, b) | Path::Union(a, b) => {
+                a.contains_xpath_axes() || b.contains_xpath_axes()
+            }
+            Path::Star(a) => a.contains_xpath_axes(),
+            Path::Filter(p, q) => p.contains_xpath_axes() || q.contains_xpath_axes(),
+        }
+    }
+
+    /// All labels mentioned in the path (and its filters).
+    pub fn labels(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Path::Empty | Path::AnyLabel | Path::DescendantOrSelf => {}
+            Path::Label(l) => out.push(l),
+            Path::Seq(a, b) | Path::Union(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+            Path::Star(a) => a.collect_labels(out),
+            Path::Filter(p, q) => {
+                p.collect_labels(out);
+                q.collect_labels(out);
+            }
+        }
+    }
+}
+
+impl Pred {
+    /// Predicate testing that `path` selects at least one node.
+    pub fn exists(path: Path) -> Self {
+        Pred::Exists(path)
+    }
+
+    /// Predicate `path/text() = value`.
+    pub fn text_eq(path: Path, value: &str) -> Self {
+        Pred::TextEq(path, value.to_owned())
+    }
+
+    /// `¬ self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Pred::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Pred) -> Self {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Pred) -> Self {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// The number of AST nodes of the predicate.
+    pub fn size(&self) -> usize {
+        match self {
+            Pred::Exists(p) => 1 + p.size(),
+            Pred::TextEq(p, _) => 1 + p.size(),
+            Pred::Not(q) => 1 + q.size(),
+            Pred::And(a, b) | Pred::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// `true` if any path inside the predicate contains a Kleene star.
+    pub fn contains_star(&self) -> bool {
+        match self {
+            Pred::Exists(p) | Pred::TextEq(p, _) => p.contains_star(),
+            Pred::Not(q) => q.contains_star(),
+            Pred::And(a, b) | Pred::Or(a, b) => a.contains_star() || b.contains_star(),
+        }
+    }
+
+    /// `true` if any path inside the predicate uses `//` or `*`.
+    pub fn contains_xpath_axes(&self) -> bool {
+        match self {
+            Pred::Exists(p) | Pred::TextEq(p, _) => p.contains_xpath_axes(),
+            Pred::Not(q) => q.contains_xpath_axes(),
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.contains_xpath_axes() || b.contains_xpath_axes()
+            }
+        }
+    }
+
+    fn collect_labels<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Pred::Exists(p) | Pred::TextEq(p, _) => p.collect_labels(out),
+            Pred::Not(q) => q.collect_labels(out),
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty-printing. The printers emit the ASCII surface syntax accepted by the
+// parser, so `parse_path(&q.to_string()) == q` up to redundant parentheses
+// (verified by property tests).
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Path {
+    /// Precedence levels: 0 = union, 1 = sequence, 2 = postfix/primary.
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+        match self {
+            Path::Empty => write!(f, "."),
+            Path::Label(l) => write!(f, "{l}"),
+            Path::AnyLabel => write!(f, "*"),
+            // A bare descendant-or-self step prints as `.//.` — the closest
+            // concrete syntax; `a//b` is handled by the Seq arm below.
+            Path::DescendantOrSelf => write!(f, ".//."),
+            Path::Union(a, b) => {
+                if prec > 0 {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, 0)?;
+                write!(f, " | ")?;
+                b.fmt_prec(f, 0)?;
+                if prec > 0 {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Path::Seq(a, b) => {
+                if prec > 1 {
+                    write!(f, "(")?;
+                }
+                // `a // b` prints more readably than `a/descendant-or-self()/b`.
+                if let Path::Seq(mid, rest) = &**b {
+                    if matches!(**mid, Path::DescendantOrSelf) {
+                        a.fmt_prec(f, 1)?;
+                        write!(f, "//")?;
+                        rest.fmt_prec(f, 1)?;
+                        if prec > 1 {
+                            write!(f, ")")?;
+                        }
+                        return Ok(());
+                    }
+                }
+                a.fmt_prec(f, 1)?;
+                write!(f, "/")?;
+                b.fmt_prec(f, 1)?;
+                if prec > 1 {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Path::Star(a) => {
+                match **a {
+                    Path::Label(_) | Path::Empty | Path::AnyLabel => a.fmt_prec(f, 2)?,
+                    _ => {
+                        write!(f, "(")?;
+                        a.fmt_prec(f, 0)?;
+                        write!(f, ")")?;
+                    }
+                }
+                write!(f, "*")
+            }
+            Path::Filter(p, q) => {
+                match **p {
+                    Path::Label(_) | Path::Empty | Path::AnyLabel | Path::Filter(..) => {
+                        p.fmt_prec(f, 2)?
+                    }
+                    _ => {
+                        write!(f, "(")?;
+                        p.fmt_prec(f, 0)?;
+                        write!(f, ")")?;
+                    }
+                }
+                write!(f, "[{q}]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_prec(f, 0)
+    }
+}
+
+impl Pred {
+    /// Precedence levels: 0 = or, 1 = and, 2 = not/atom.
+    fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+        match self {
+            Pred::Exists(p) => write!(f, "{p}"),
+            Pred::TextEq(p, c) => {
+                if matches!(p, Path::Empty) {
+                    write!(f, "text() = \"{c}\"")
+                } else {
+                    write!(f, "{p}/text() = \"{c}\"")
+                }
+            }
+            Pred::Not(q) => {
+                write!(f, "not(")?;
+                q.fmt_prec(f, 0)?;
+                write!(f, ")")
+            }
+            Pred::And(a, b) => {
+                if prec > 1 {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, 1)?;
+                write!(f, " and ")?;
+                b.fmt_prec(f, 2)?;
+                if prec > 1 {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Pred::Or(a, b) => {
+                if prec > 0 {
+                    write!(f, "(")?;
+                }
+                a.fmt_prec(f, 0)?;
+                write!(f, " or ")?;
+                b.fmt_prec(f, 1)?;
+                if prec > 0 {
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        // Q0 of Example 4.1: (patient/parent)*/patient[q0]
+        let q0 = Pred::text_eq(
+            Path::chain(&["parent", "patient"])
+                .star()
+                .then(Path::chain(&["record", "diagnosis"])),
+            "heart disease",
+        );
+        let q = Path::chain(&["patient", "parent"])
+            .star()
+            .then(Path::label("patient").filter(q0));
+        assert!(q.contains_star());
+        assert!(!q.contains_xpath_axes());
+        assert!(q.size() > 10);
+    }
+
+    #[test]
+    fn size_counts_every_node() {
+        assert_eq!(Path::Empty.size(), 1);
+        assert_eq!(Path::label("a").size(), 1);
+        assert_eq!(Path::label("a").then(Path::label("b")).size(), 3);
+        assert_eq!(Path::label("a").star().size(), 2);
+        assert_eq!(
+            Path::label("a").filter(Pred::exists(Path::label("b"))).size(),
+            4
+        );
+        assert_eq!(
+            Pred::exists(Path::label("a")).and(Pred::exists(Path::label("b"))).size(),
+            5
+        );
+    }
+
+    #[test]
+    fn display_simple_paths() {
+        assert_eq!(Path::chain(&["a", "b", "c"]).to_string(), "a/b/c");
+        assert_eq!(Path::label("a").or(Path::label("b")).to_string(), "a | b");
+        assert_eq!(
+            Path::chain(&["a", "b"]).star().then(Path::label("c")).to_string(),
+            "(a/b)*/c"
+        );
+        assert_eq!(Path::AnyLabel.to_string(), "*");
+    }
+
+    #[test]
+    fn display_descendant_axis_uses_double_slash() {
+        let p = Path::label("a").then(Path::DescendantOrSelf.then(Path::label("b")));
+        assert_eq!(p.to_string(), "a//b");
+    }
+
+    #[test]
+    fn display_filters_and_predicates() {
+        let q = Path::label("patient").filter(
+            Pred::text_eq(Path::chain(&["record", "diagnosis"]), "heart disease")
+                .and(Pred::exists(Path::label("parent")).not()),
+        );
+        assert_eq!(
+            q.to_string(),
+            "patient[record/diagnosis/text() = \"heart disease\" and not(parent)]"
+        );
+    }
+
+    #[test]
+    fn labels_are_collected_from_paths_and_filters() {
+        let q = Path::label("a").filter(Pred::exists(Path::label("b"))).then(Path::label("c"));
+        let labels = q.labels();
+        assert_eq!(labels, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn xpath_axis_detection() {
+        let q = Path::label("a").then(Path::DescendantOrSelf).then(Path::label("b"));
+        assert!(q.contains_xpath_axes());
+        assert!(!q.contains_star());
+        let r = Path::label("a").filter(Pred::exists(Path::AnyLabel));
+        assert!(r.contains_xpath_axes());
+    }
+
+    #[test]
+    fn union_precedence_in_display() {
+        // (a | b)/c must keep its parentheses.
+        let p = Path::label("a").or(Path::label("b")).then(Path::label("c"));
+        assert_eq!(p.to_string(), "(a | b)/c");
+    }
+}

@@ -1,0 +1,177 @@
+//! Expansion of the XPath fragment `X` into pure regular XPath `Xreg`.
+//!
+//! Section 2.1 of the paper observes that, given a DTD `D` of the documents
+//! on which queries are posed, the descendant-or-self axis `//` is
+//! expressible in `Xreg` as `(⋃ Ele)*` — the Kleene closure of the union of
+//! all element labels of `D`. Likewise the wildcard step `*` is expressible
+//! as `⋃ Ele`.
+//!
+//! This module performs that translation. It is used by the rewriting
+//! algorithm: a query over a *view* DTD `DV` must have its `//` and `*`
+//! expanded over `DV`'s labels (not the document's!) before rewriting,
+//! because `//` on the view may only traverse view elements — this is
+//! exactly the subtlety of Example 1.1 that makes `X` non-closed under
+//! rewriting for recursive views.
+
+use smoqe_xml::Dtd;
+
+use crate::ast::{Path, Pred};
+
+/// Returns `true` if the query is already pure `Xreg` (no `//`, no `*` step).
+pub fn is_pure_xreg(path: &Path) -> bool {
+    !path.contains_xpath_axes()
+}
+
+/// Returns `true` if the query belongs to the XPath fragment `X` of the
+/// paper: it may use `//` and `*` but no general Kleene star.
+pub fn is_xpath_fragment(path: &Path) -> bool {
+    !path.contains_star()
+}
+
+/// Builds the union `l1 ∪ l2 ∪ … ∪ ln` over the given labels.
+///
+/// Returns [`Path::Empty`] for an empty label set (the closure of an empty
+/// union is just `ε`, which matches the semantics of `//` on a DTD with no
+/// element types — only the context node is reachable).
+fn union_of_labels(labels: &[&str]) -> Path {
+    let mut iter = labels.iter();
+    match iter.next() {
+        None => Path::Empty,
+        Some(first) => {
+            let mut path = Path::label(first);
+            for l in iter {
+                path = path.or(Path::label(l));
+            }
+            path
+        }
+    }
+}
+
+/// Expands `//` into `(⋃ Ele)*` and the wildcard step `*` into `⋃ Ele`,
+/// where `Ele` is the set of element types of `dtd`.
+///
+/// The result is pure `Xreg` ([`is_pure_xreg`] returns `true` on it) and is
+/// equivalent to the input on every document conforming to `dtd`.
+pub fn expand_on_dtd(path: &Path, dtd: &Dtd) -> Path {
+    let labels = dtd.element_types();
+    expand_path(path, &labels)
+}
+
+fn expand_path(path: &Path, labels: &[&str]) -> Path {
+    match path {
+        Path::Empty | Path::Label(_) => path.clone(),
+        Path::AnyLabel => union_of_labels(labels),
+        Path::DescendantOrSelf => Path::Star(Box::new(union_of_labels(labels))),
+        Path::Seq(a, b) => Path::Seq(
+            Box::new(expand_path(a, labels)),
+            Box::new(expand_path(b, labels)),
+        ),
+        Path::Union(a, b) => Path::Union(
+            Box::new(expand_path(a, labels)),
+            Box::new(expand_path(b, labels)),
+        ),
+        Path::Star(a) => Path::Star(Box::new(expand_path(a, labels))),
+        Path::Filter(p, q) => Path::Filter(
+            Box::new(expand_path(p, labels)),
+            Box::new(expand_pred(q, labels)),
+        ),
+    }
+}
+
+fn expand_pred(pred: &Pred, labels: &[&str]) -> Pred {
+    match pred {
+        Pred::Exists(p) => Pred::Exists(expand_path(p, labels)),
+        Pred::TextEq(p, c) => Pred::TextEq(expand_path(p, labels), c.clone()),
+        Pred::Not(q) => Pred::Not(Box::new(expand_pred(q, labels))),
+        Pred::And(a, b) => Pred::And(
+            Box::new(expand_pred(a, labels)),
+            Box::new(expand_pred(b, labels)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(expand_pred(a, labels)),
+            Box::new(expand_pred(b, labels)),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_path;
+    use smoqe_xml::hospital::{hospital_document_dtd, hospital_view_dtd};
+    use smoqe_xml::XmlTreeBuilder;
+
+    #[test]
+    fn fragment_classification() {
+        let x = parse_path("a//b[*]").unwrap();
+        assert!(is_xpath_fragment(&x));
+        assert!(!is_pure_xreg(&x));
+        let xreg = parse_path("(a/b)*[c]").unwrap();
+        assert!(is_pure_xreg(&xreg));
+        assert!(!is_xpath_fragment(&xreg));
+    }
+
+    #[test]
+    fn expansion_removes_xpath_axes() {
+        let dtd = hospital_view_dtd();
+        let q = parse_path("patient[*//record/diagnosis/text()='heart disease']").unwrap();
+        let expanded = expand_on_dtd(&q, &dtd);
+        assert!(is_pure_xreg(&expanded));
+        // The expansion mentions only labels of the view DTD.
+        for l in expanded.labels() {
+            assert!(dtd.element_types().contains(&l), "{l} not a view label");
+        }
+    }
+
+    #[test]
+    fn expansion_preserves_semantics_on_a_view_document() {
+        // Build a small document conforming to the *view* DTD and check that
+        // the expanded query returns the same answer as the original.
+        let dtd = hospital_view_dtd();
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        let p1 = b.child(root, "patient");
+        let parent = b.child(p1, "parent");
+        let p2 = b.child(parent, "patient");
+        let rec2 = b.child(p2, "record");
+        b.child_with_text(rec2, "diagnosis", "heart disease");
+        let rec1 = b.child(p1, "record");
+        b.child_with_text(rec1, "diagnosis", "lung disease");
+        let tree = b.finish();
+        dtd.validate(&tree).unwrap();
+
+        for q in [
+            "patient[*//record/diagnosis/text()='heart disease']",
+            "//diagnosis",
+            "patient//record",
+            "patient[.//diagnosis/text()='heart disease']",
+        ] {
+            let original = parse_path(q).unwrap();
+            let expanded = expand_on_dtd(&original, &dtd);
+            assert!(is_pure_xreg(&expanded), "{q} not fully expanded");
+            assert_eq!(
+                evaluate(&tree, tree.root(), &original),
+                evaluate(&tree, tree.root(), &expanded),
+                "expansion changed the answer of {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_is_identity_on_pure_xreg() {
+        let dtd = hospital_document_dtd();
+        let q = parse_path("(department/patient)*[visit]").unwrap();
+        assert_eq!(expand_on_dtd(&q, &dtd), q);
+    }
+
+    #[test]
+    fn expanded_size_grows_with_dtd() {
+        let view = hospital_view_dtd();
+        let doc = hospital_document_dtd();
+        let q = parse_path("//diagnosis").unwrap();
+        let on_view = expand_on_dtd(&q, &view);
+        let on_doc = expand_on_dtd(&q, &doc);
+        assert!(on_doc.size() > on_view.size());
+    }
+}

@@ -1,0 +1,36 @@
+//! # smoqe-xpath
+//!
+//! The query languages of the paper (Section 2.1):
+//!
+//! * **`Xreg`** — regular XPath: `Q ::= ε | A | Q/Q | Q ∪ Q | Q* | Q[q]`,
+//!   with filters `q ::= Q | Q/text()='c' | ¬q | q ∧ q | q ∨ q`.
+//! * **`X`** — the XPath fragment obtained by replacing the general Kleene
+//!   star `Q*` with the descendant-or-self axis `//` (and allowing the
+//!   wildcard `*` step used in the paper's examples).
+//!
+//! This crate provides:
+//!
+//! * the shared abstract syntax ([`Path`], [`Pred`]) covering both fragments,
+//! * a parser ([`parse_path`]) and pretty-printer for a conventional ASCII
+//!   surface syntax (`|` for `∪`, `.` for `ε`, `not/and/or` or `!/&&/||`
+//!   for the Boolean connectives),
+//! * a direct, specification-level evaluator ([`eval::evaluate`]) used as
+//!   the correctness oracle for the automaton-based algorithms,
+//! * the translation of `//` and `*` into pure `Xreg` over a given DTD
+//!   ([`expand::expand_on_dtd`]), following the paper's observation that
+//!   `//` is expressible as `(⋃ Ele)*`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod expand;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{Path, Pred};
+pub use eval::{evaluate, evaluate_pred};
+pub use expand::{expand_on_dtd, is_pure_xreg, is_xpath_fragment};
+pub use normalize::{normalize, normalize_pred};
+pub use parser::{parse_path, ParseQueryError};

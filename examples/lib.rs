@@ -1,0 +1,29 @@
+//! Shared helpers for the SMOQE-RS example binaries.
+
+use std::time::Instant;
+
+/// Runs `f`, returning its result and the elapsed wall-clock time in
+/// milliseconds. The examples use this for rough, human-readable timings;
+/// the rigorous measurements live in the Criterion benchmark harness.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Formats a byte count as a human-readable size.
+pub fn human_bytes(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.1} MB", bytes as f64 / 1_000_000.0)
+    } else if bytes >= 1_000 {
+        format!("{:.1} kB", bytes as f64 / 1_000.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Prints a section header so the example output is easy to scan.
+pub fn section(title: &str) {
+    println!();
+    println!("== {title} ==");
+}

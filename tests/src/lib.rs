@@ -1,0 +1,79 @@
+//! Shared fixtures and helpers for the cross-crate integration tests.
+
+use std::collections::BTreeSet;
+
+use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_views::{materialize, ViewDefinition};
+use smoqe_xml::{NodeId, XmlTree};
+use smoqe_xpath::{evaluate, parse_path};
+
+/// A deterministic, moderately sized hospital document exercising every
+/// feature of the document DTD (ancestors, siblings, tests, medications).
+pub fn standard_hospital_document() -> XmlTree {
+    generate_hospital(&HospitalConfig {
+        patients: 60,
+        departments: 3,
+        heart_disease_fraction: 0.35,
+        max_ancestor_depth: 2,
+        sibling_probability: 0.4,
+        visits_per_patient: 2,
+        test_visit_fraction: 0.3,
+        seed: 42,
+    })
+}
+
+/// Queries over the σ₀ *view* used across the integration tests — a mix of
+/// XPath-fragment and proper regular XPath queries, with filters, negation,
+/// unions and recursion.
+pub fn view_query_corpus() -> Vec<&'static str> {
+    vec![
+        "patient",
+        "patient/record",
+        "patient/record/diagnosis",
+        "patient/parent/patient",
+        "patient/parent/patient/record/diagnosis",
+        "(patient/parent)*/patient",
+        "(patient/parent)*/patient[record]",
+        "patient[*//record/diagnosis/text()='heart disease']",
+        "patient[record/diagnosis/text()='heart disease' and parent]",
+        "patient[not(parent)]",
+        "patient[not(record/diagnosis/text()='heart disease')]",
+        "patient/record/empty",
+        "patient/(record | parent/patient/record)",
+        "//diagnosis",
+        "//record[diagnosis]",
+        "patient//patient[record/empty]",
+        "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
+        "patient[parent/patient[not(record)]/parent/patient[record]]",
+        "doctor",
+        "patient/pname",
+    ]
+}
+
+/// Queries posed directly on the hospital *document* (no view), used for
+/// testing the evaluators and the benchmark harness.
+pub fn document_query_corpus() -> Vec<&'static str> {
+    vec![
+        "department/patient",
+        "department/patient/pname",
+        "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+        "department/patient[visit/treatment/test]/pname",
+        "department/patient[visit/treatment/medication/diagnosis/text()='heart disease' \
+         and not(visit/treatment/test)]",
+        "//diagnosis",
+        "//zip",
+        "department/doctor[specialty/text()='cardiology']/dname",
+        "department/patient/(parent/patient)*/visit/treatment/medication/diagnosis",
+        "(department/patient/parent/patient)*",
+        "department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='heart disease']",
+    ]
+}
+
+/// The materialize-then-evaluate oracle: the answer of `query` on the view
+/// `view` of `doc`, mapped back to origin nodes of `doc`.
+pub fn oracle_answer(view: &ViewDefinition, doc: &XmlTree, query: &str) -> BTreeSet<NodeId> {
+    let materialized = materialize(view, doc).expect("materialization succeeds");
+    let q = parse_path(query).expect("query parses");
+    let on_view = evaluate(&materialized.tree, materialized.tree.root(), &q);
+    materialized.origins_of(&on_view)
+}
