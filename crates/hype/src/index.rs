@@ -117,11 +117,7 @@ impl ReachabilityIndex {
 
     /// Number of stored rows (after deduplication, if compressed).
     pub fn stored_rows(&self) -> usize {
-        if self.words_per_row == 0 {
-            0
-        } else {
-            self.rows.len() / self.words_per_row
-        }
+        self.rows.len().checked_div(self.words_per_row).unwrap_or(0)
     }
 }
 

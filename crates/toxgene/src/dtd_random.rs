@@ -146,7 +146,7 @@ fn fill(
         }
         ContentModel::Sequence(children) => {
             for child in children {
-                let fits = depth_left > 0 && min_depth[&child.ty] <= depth_left - 1;
+                let fits = min_depth[&child.ty] < depth_left;
                 let repeats = if child.starred {
                     if fits {
                         rng.gen_range(0..=config.max_star_repeat)
@@ -175,7 +175,7 @@ fn fill(
             // Only pick alternatives that still fit in the depth budget.
             let viable: Vec<&String> = options
                 .iter()
-                .filter(|o| min_depth[o.as_str()] <= depth_left - 1)
+                .filter(|o| min_depth[o.as_str()] < depth_left)
                 .collect();
             if viable.is_empty() {
                 return false;

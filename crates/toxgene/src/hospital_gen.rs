@@ -45,7 +45,7 @@ impl Default for HospitalConfig {
             sibling_probability: 0.3,
             visits_per_patient: 2,
             test_visit_fraction: 0.3,
-            seed: 0x5eed_50_0e,
+            seed: 0x5eed_500e,
         }
     }
 }

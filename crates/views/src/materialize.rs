@@ -64,7 +64,8 @@ pub fn materialize_with_budget(
 
     // Explicit work stack of (view node, view type, origin, ancestor chain of
     // (type, origin) pairs) to detect non-terminating recursion.
-    let mut stack: Vec<(NodeId, String, NodeId, Vec<(String, NodeId)>)> = vec![(
+    type Frame = (NodeId, String, NodeId, Vec<(String, NodeId)>);
+    let mut stack: Vec<Frame> = vec![(
         view_root,
         root_type.clone(),
         tree.root(),

@@ -226,11 +226,6 @@ fn promoted_children(spec: &SecuritySpec, types: &[String], a: &str) -> Vec<(Str
         .filter(|t| t.as_str() != a)
         .cloned()
         .collect();
-    let index: BTreeMap<&str, usize> = hidden_region
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (t.as_str(), i))
-        .collect();
     let n = hidden_region.len();
 
     // reach[i]: the path (over the document) from `a` to hidden type i using

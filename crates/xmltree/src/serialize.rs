@@ -27,7 +27,7 @@ fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize
             if !out.is_empty() {
                 out.push('\n');
             }
-            out.extend(std::iter::repeat(' ').take(step * depth));
+            out.extend(std::iter::repeat_n(' ', step * depth));
         }
     };
     pad(out, depth);

@@ -234,6 +234,17 @@ impl fmt::Display for Path {
 }
 
 impl Path {
+    /// Whether the printed form's left-most step would be a descendant axis —
+    /// such a path cannot be printed directly after `//` (it would fuse into
+    /// an unparseable `////`).
+    fn leads_with_descendant(&self) -> bool {
+        match self {
+            Path::DescendantOrSelf => true,
+            Path::Seq(a, _) => a.leads_with_descendant(),
+            _ => false,
+        }
+    }
+
     /// Precedence levels: 0 = union, 1 = sequence, 2 = postfix/primary.
     fn fmt_prec(&self, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
         match self {
@@ -259,9 +270,19 @@ impl Path {
                 if prec > 1 {
                     write!(f, "(")?;
                 }
+                // A leading descendant axis prints as `//b`, exactly as the
+                // parser's `primary := '//' step` production reads it back.
+                if matches!(**a, Path::DescendantOrSelf) && !b.leads_with_descendant() {
+                    write!(f, "//")?;
+                    b.fmt_prec(f, 1)?;
+                    if prec > 1 {
+                        write!(f, ")")?;
+                    }
+                    return Ok(());
+                }
                 // `a // b` prints more readably than `a/descendant-or-self()/b`.
                 if let Path::Seq(mid, rest) = &**b {
-                    if matches!(**mid, Path::DescendantOrSelf) {
+                    if matches!(**mid, Path::DescendantOrSelf) && !rest.leads_with_descendant() {
                         a.fmt_prec(f, 1)?;
                         write!(f, "//")?;
                         rest.fmt_prec(f, 1)?;

@@ -636,4 +636,155 @@ mod tests {
             assert_eq!(parsed, reparsed, "round trip failed for `{q}` -> `{printed}`");
         }
     }
+
+    // -----------------------------------------------------------------------
+    // The regular-XPath surface exercised by the integration tests' view
+    // query corpus (`integration_tests::view_query_corpus`), pinned here as
+    // unit tests: Kleene closures, negation, unions and text predicates.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn parses_corpus_kleene_closure_over_groups() {
+        // The heredity query skeleton of the paper's Example 1.1.
+        let q = parse_path("(patient/parent)*/patient").unwrap();
+        assert_eq!(
+            q,
+            Path::chain(&["patient", "parent"]).star().then(Path::label("patient"))
+        );
+        assert!(q.contains_star());
+        assert!(!q.contains_xpath_axes());
+
+        let filtered = parse_path("(patient/parent)*/patient[record]").unwrap();
+        assert_eq!(
+            filtered,
+            Path::chain(&["patient", "parent"])
+                .star()
+                .then(Path::label("patient").filter(Pred::exists(Path::label("record"))))
+        );
+    }
+
+    #[test]
+    fn parses_corpus_negation() {
+        assert_eq!(
+            parse_path("patient[not(parent)]").unwrap(),
+            Path::label("patient").filter(Pred::exists(Path::label("parent")).not())
+        );
+        assert_eq!(
+            parse_path("patient[not(record/diagnosis/text()='heart disease')]").unwrap(),
+            Path::label("patient").filter(
+                Pred::text_eq(Path::chain(&["record", "diagnosis"]), "heart disease").not()
+            )
+        );
+        // `!` is the ASCII synonym of the paper's ¬.
+        assert_eq!(
+            parse_path("patient[!(parent)]").unwrap(),
+            parse_path("patient[not(parent)]").unwrap()
+        );
+    }
+
+    #[test]
+    fn parses_corpus_union_inside_a_step() {
+        let q = parse_path("patient/(record | parent/patient/record)").unwrap();
+        assert_eq!(
+            q,
+            Path::label("patient").then(
+                Path::label("record").or(Path::chain(&["parent", "patient", "record"]))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_corpus_text_predicates_and_conjunction() {
+        let q =
+            parse_path("patient[record/diagnosis/text()='heart disease' and parent]").unwrap();
+        assert_eq!(
+            q,
+            Path::label("patient").filter(
+                Pred::text_eq(Path::chain(&["record", "diagnosis"]), "heart disease")
+                    .and(Pred::exists(Path::label("parent")))
+            )
+        );
+
+        // Closure *inside* a filter, with a nested text predicate — the most
+        // complex shape in the corpus.
+        let nested = parse_path(
+            "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
+        )
+        .unwrap();
+        assert_eq!(
+            nested,
+            Path::chain(&["patient", "parent"]).star().then(
+                Path::label("patient").filter(Pred::exists(
+                    Path::chain(&["parent", "patient"]).star().then(
+                        Path::label("record").then(
+                            Path::label("diagnosis")
+                                .filter(Pred::text_eq(Path::Empty, "heart disease"))
+                        )
+                    )
+                ))
+            )
+        );
+    }
+
+    #[test]
+    fn whole_view_query_corpus_parses_and_round_trips() {
+        // Mirror of `integration_tests::view_query_corpus()` (the tests
+        // crate depends on this one, so the list is duplicated here).
+        let corpus = [
+            "patient",
+            "patient/record",
+            "patient/record/diagnosis",
+            "patient/parent/patient",
+            "patient/parent/patient/record/diagnosis",
+            "(patient/parent)*/patient",
+            "(patient/parent)*/patient[record]",
+            "patient[*//record/diagnosis/text()='heart disease']",
+            "patient[record/diagnosis/text()='heart disease' and parent]",
+            "patient[not(parent)]",
+            "patient[not(record/diagnosis/text()='heart disease')]",
+            "patient/record/empty",
+            "patient/(record | parent/patient/record)",
+            "//diagnosis",
+            "//record[diagnosis]",
+            "patient//patient[record/empty]",
+            "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
+            "patient[parent/patient[not(record)]/parent/patient[record]]",
+            "doctor",
+            "patient/pname",
+        ];
+        for q in corpus {
+            let parsed = parse_path(q).unwrap_or_else(|e| panic!("`{q}` failed to parse: {e}"));
+            let printed = parsed.to_string();
+            let reparsed = parse_path(&printed)
+                .unwrap_or_else(|e| panic!("re-parse of `{printed}` (from `{q}`) failed: {e}"));
+            assert_eq!(parsed, reparsed, "round trip failed for `{q}` -> `{printed}`");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_corpus_variants() {
+        // Broken versions of corpus queries; each must fail with an offset
+        // inside the input, not panic or mis-parse.
+        let malformed = [
+            "(patient/parent*",                          // unclosed group
+            "(patient/parent)*/",                        // dangling slash
+            "patient[not(parent]",                       // unclosed not(...)
+            "patient[record |]",                         // union missing operand
+            "patient[record/diagnosis/text()=heart]",    // unquoted string
+            "patient[record/diagnosis/text()]",          // text() outside comparison
+            "patient[]",                                 // empty predicate
+            "| patient",                                 // union missing left operand
+            "patient[not]",                              // not without an operand
+            "patient[record/diagnosis/text()='heart' or]", // or missing operand
+        ];
+        for q in malformed {
+            let err = parse_path(q).unwrap_err();
+            assert!(
+                err.offset <= q.len(),
+                "error offset {} outside input `{q}`",
+                err.offset
+            );
+            assert!(!err.message.is_empty());
+        }
+    }
 }

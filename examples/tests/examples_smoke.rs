@@ -1,0 +1,62 @@
+//! Smoke test: every doc-facing example binary must run to completion.
+//!
+//! The examples are the repository's entry points for humans; without this
+//! test they could rot silently (they are compiled by `cargo test` but never
+//! executed). Each one is spawned via the same `cargo` that runs this test,
+//! so the already-built artifacts are reused.
+
+use std::process::Command;
+
+/// Every `[[example]]` registered in this package's manifest.
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "hospital_access_control",
+    "heredity_patterns",
+    "materialize_vs_rewrite",
+];
+
+#[test]
+fn all_example_binaries_run_successfully() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn `cargo run --example {example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` printed nothing — expected a human-readable report"
+        );
+    }
+}
+
+#[test]
+fn example_manifest_registers_every_example_source_file() {
+    // Guards the EXAMPLES list (and the manifest) against drift: a new
+    // `*.rs` example dropped into this directory must be registered.
+    let manifest_dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(manifest_dir)
+        .expect("examples directory is readable")
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            let stem = name.strip_suffix(".rs")?;
+            (stem != "lib").then(|| stem.to_owned())
+        })
+        .collect();
+    on_disk.sort();
+    let mut registered: Vec<String> = EXAMPLES.iter().map(|s| (*s).to_owned()).collect();
+    registered.sort();
+    assert_eq!(
+        on_disk, registered,
+        "example sources on disk and the EXAMPLES list (keep Cargo.toml in sync) differ"
+    );
+}

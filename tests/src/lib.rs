@@ -25,6 +25,12 @@ pub fn standard_hospital_document() -> XmlTree {
 /// Queries over the σ₀ *view* used across the integration tests — a mix of
 /// XPath-fragment and proper regular XPath queries, with filters, negation,
 /// unions and recursion.
+///
+/// NOTE: `smoqe_xpath::parser`'s unit tests pin a mirror of this list
+/// (`whole_view_query_corpus_parses_and_round_trips`) — the dependency goes
+/// the other way, so the list cannot be shared. When editing the corpus,
+/// update the mirror too; `view_query_corpus_matches_parser_unit_mirror`
+/// below fails loudly on drift.
 pub fn view_query_corpus() -> Vec<&'static str> {
     vec![
         "patient",
@@ -76,4 +82,28 @@ pub fn oracle_answer(view: &ViewDefinition, doc: &XmlTree, query: &str) -> BTree
     let q = parse_path(query).expect("query parses");
     let on_view = evaluate(&materialized.tree, materialized.tree.root(), &q);
     materialized.origins_of(&on_view)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::view_query_corpus;
+
+    /// Drift guard for the mirror of this corpus in `smoqe_xpath::parser`'s
+    /// unit tests (which cannot depend on this crate). A checksum over the
+    /// concatenated queries fails the moment either copy changes alone.
+    #[test]
+    fn view_query_corpus_matches_parser_unit_mirror() {
+        let corpus = view_query_corpus();
+        assert_eq!(corpus.len(), 20, "corpus changed: update the parser unit-test mirror");
+        let joined = corpus.join("\n");
+        let checksum = joined
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+        assert_eq!(
+            checksum, 0xc101_ed93_94fa_c9f5,
+            "corpus changed (checksum {checksum:#x}): update the mirror in \
+             crates/xpath/src/parser.rs (whole_view_query_corpus_parses_and_round_trips) \
+             and this checksum"
+        );
+    }
 }

@@ -1,0 +1,296 @@
+//! Offline stand-in for the subset of the crates-io `criterion` crate used
+//! by the `smoqe_bench` harnesses. The build environment has no registry
+//! access, so the real crate cannot be fetched.
+//!
+//! Semantics: each benchmark warms up for `warm_up_time`, then runs the
+//! routine repeatedly until `measurement_time` elapses, and reports the mean
+//! wall-clock time per iteration. There is no outlier analysis or HTML
+//! report — just a stable text line per benchmark, plus an optional JSON-lines
+//! dump (set `SMOQE_BENCH_JSON=/path/to/file`) that perf PRs diff against.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a single benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `function` instantiated with `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: Some(function.into()), parameter: Some(parameter.to_string()) }
+    }
+
+    /// A benchmark identified by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: None, parameter: Some(parameter.to_string()) }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match (&self.function, &self.parameter) {
+            (Some(f), Some(p)) => format!("{group}/{f}/{p}"),
+            (Some(f), None) => format!("{group}/{f}"),
+            (None, Some(p)) => format!("{group}/{p}"),
+            (None, None) => group.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId { function: Some(function.to_owned()), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId { function: Some(function), parameter: None }
+    }
+}
+
+/// Measures one benchmark routine; handed to the user closure by the group.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let mut iterations: u64 = 0;
+        let start = Instant::now();
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / iterations as f64;
+        self.iterations = iterations;
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    id: String,
+    mean_ns: f64,
+    iterations: u64,
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// stand-in sizes runs by `measurement_time` alone).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets how long each routine runs before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets how long each routine is measured.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().render(&self.name);
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.criterion.record(id, bencher);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (all reporting already happened incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_group!`'s expansion;
+    /// the stand-in has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().render("").trim_start_matches('/').to_owned();
+        let mut bencher = Bencher {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            mean_ns: 0.0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    fn record(&mut self, id: String, bencher: Bencher) {
+        println!(
+            "{id:<70} time: [{}]  ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iterations
+        );
+        self.records.push(BenchRecord {
+            id,
+            mean_ns: bencher.mean_ns,
+            iterations: bencher.iterations,
+        });
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("SMOQE_BENCH_JSON") else { return };
+        if path.is_empty() || self.records.is_empty() {
+            return;
+        }
+        let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path)
+        else {
+            eprintln!("warning: cannot open SMOQE_BENCH_JSON file {path}");
+            return;
+        };
+        for r in &self.records {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iterations\": {}}}",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.iterations
+            );
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_mean_time() {
+        let mut c = Criterion::default();
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            group.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            group.finish();
+        }
+        assert_eq!(c.records.len(), 1);
+        assert_eq!(c.records[0].id, "g/f/3");
+        assert!(c.records[0].iterations > 0);
+        assert!(c.records[0].mean_ns > 0.0);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::new("f", "p").render("g"), "g/f/p");
+        assert_eq!(BenchmarkId::from_parameter(7).render("g"), "g/7");
+        assert_eq!(BenchmarkId::from("f").render("g"), "g/f");
+    }
+}

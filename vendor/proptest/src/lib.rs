@@ -1,0 +1,485 @@
+//! Offline stand-in for the subset of the crates-io `proptest` crate used by
+//! the workspace's property-based tests. The build environment has no
+//! registry access, so the real crate cannot be fetched.
+//!
+//! Supported surface: the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive` and `boxed`; strategies for integer ranges, tuples,
+//! [`strategy::Just`], `prop::sample::select` and weighted [`prop_oneof!`];
+//! and the [`proptest!`], [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate: cases are generated from a fixed
+//! deterministic seed sequence (no `PROPTEST_*` env handling, no failure
+//! persistence files) and there is **no shrinking** — a failing case reports
+//! the raw generated input. That trades minimality of counterexamples for
+//! zero dependencies; the invariants exercised are unchanged.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::{Rng, UniformInt};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of type `Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f: Rc::new(f) }
+        }
+
+        /// Builds a recursive strategy: `self` generates leaves, and
+        /// `recurse` wraps an inner strategy into the recursive cases.
+        /// `depth` bounds recursion; the size hints are accepted for API
+        /// compatibility and unused.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                inner: Rc::new(RecursiveInner {
+                    base: self.boxed(),
+                    recurse: Box::new(move |s| recurse(s).boxed()),
+                }),
+                depth,
+            }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy (`Strategy::boxed`).
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut StdRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F: ?Sized> {
+        inner: S,
+        f: Rc<F>,
+    }
+
+    impl<S: Clone, F: ?Sized> Clone for Map<S, F> {
+        fn clone(&self) -> Self {
+            Map { inner: self.inner.clone(), f: Rc::clone(&self.f) }
+        }
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    struct RecursiveInner<T> {
+        base: BoxedStrategy<T>,
+        #[allow(clippy::type_complexity)]
+        recurse: Box<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    /// `Strategy::prop_recursive` adapter.
+    pub struct Recursive<T> {
+        inner: Rc<RecursiveInner<T>>,
+        depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive { inner: Rc::clone(&self.inner), depth: self.depth }
+        }
+    }
+
+    impl<T: 'static> Recursive<T> {
+        fn at_depth(inner: Rc<RecursiveInner<T>>, depth: u32) -> BoxedStrategy<T> {
+            if depth == 0 {
+                return inner.base.clone();
+            }
+            BoxedStrategy(Rc::new(move |rng: &mut StdRng| {
+                // Take a leaf with probability 1/4 so generated structures
+                // vary in depth instead of always bottoming out at `depth`.
+                if rng.gen_range(0u32..4) == 0 {
+                    inner.base.generate(rng)
+                } else {
+                    let deeper = Self::at_depth(Rc::clone(&inner), depth - 1);
+                    (inner.recurse)(deeper).generate(rng)
+                }
+            }))
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            Self::at_depth(Rc::clone(&self.inner), self.depth).generate(rng)
+        }
+    }
+
+    /// Weighted choice between strategies ([`prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf { options: self.options.clone(), total: self.total }
+        }
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a weighted choice; weights must not all be zero.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            OneOf { options, total }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, strategy) in &self.options {
+                if pick < *weight {
+                    return strategy.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    impl<T: UniformInt + 'static> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T: UniformInt + 'static> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+        }
+    }
+
+    /// Marker so `select` can live in `sample` yet reuse strategy plumbing.
+    pub struct Select<T: 'static> {
+        pub(crate) items: &'static [T],
+        pub(crate) _marker: PhantomData<T>,
+    }
+
+    impl<T> Clone for Select<T> {
+        fn clone(&self) -> Self {
+            Select { items: self.items, _marker: PhantomData }
+        }
+    }
+
+    impl<T: Clone + 'static> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.items[rng.gen_range(0..self.items.len())].clone()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies that sample from explicit collections.
+
+    use std::marker::PhantomData;
+
+    pub use crate::strategy::Select;
+
+    /// Uniformly selects one element of `items`.
+    pub fn select<T: Clone + 'static>(items: &'static [T]) -> Select<T> {
+        assert!(!items.is_empty(), "select requires a non-empty slice");
+        Select { items, _marker: PhantomData }
+    }
+}
+
+pub mod test_runner {
+    //! The driver behind the [`proptest!`](crate::proptest) macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Accepted for API compatibility; the stand-in never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256, max_shrink_iters: 1024 }
+        }
+    }
+
+    /// A failed property case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Runs `case` for each of `config.cases` deterministic seeds; panics on
+    /// the first failure (no shrinking).
+    pub fn run_proptest(
+        config: &Config,
+        name: &str,
+        mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    ) {
+        for case_index in 0..config.cases {
+            // Decorrelate streams across properties via a name hash.
+            let name_hash = name
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+            let mut rng = StdRng::seed_from_u64(name_hash ^ (case_index as u64) << 16);
+            if let Err(e) = case(&mut rng) {
+                panic!("proptest property `{name}` failed at case {case_index}: {e}");
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Module-style access (`prop::sample::select`), mirroring the real
+    /// prelude's `prop` re-export.
+    pub mod prop {
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Weighted choice between strategies: `prop_oneof![3 => a, 1 => b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+/// Declares property tests over generated inputs, mirroring `proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_proptest(&config, stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), prop_rng);)+
+                    let case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    case()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_select_generate_in_bounds() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        let strategy = (1usize..5, prop::sample::select(&["a", "b"]));
+        for _ in 0..200 {
+            let (n, s) = strategy.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use rand::{rngs::StdRng, SeedableRng};
+        #[derive(Clone, Debug, PartialEq)]
+        enum Expr {
+            Leaf(u32),
+            Pair(Box<Expr>, Box<Expr>),
+        }
+        fn depth(e: &Expr) -> u32 {
+            match e {
+                Expr::Leaf(_) => 0,
+                Expr::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strategy = (0u32..10).prop_map(Expr::Leaf).prop_recursive(3, 16, 2, |inner| {
+            prop_oneof![
+                1 => (inner.clone(), inner)
+                    .prop_map(|(a, b)| Expr::Pair(Box::new(a), Box::new(b))),
+            ]
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut saw_pair = false;
+        for _ in 0..100 {
+            let e = strategy.generate(&mut rng);
+            assert!(depth(&e) <= 3);
+            saw_pair |= matches!(e, Expr::Pair(..));
+        }
+        assert!(saw_pair, "recursion never taken");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro wires patterns, config and assertions together.
+        #[test]
+        fn macro_smoke(x in 0u64..100, (a, b) in (0u32..10, 0u32..10)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(a + b, b + a);
+            if x == u64::MAX {
+                return Ok(()); // exercise early return
+            }
+        }
+    }
+}

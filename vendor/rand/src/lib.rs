@@ -1,0 +1,159 @@
+//! Offline stand-in for the subset of the crates-io `rand` crate that this
+//! workspace uses (`StdRng::seed_from_u64`, `gen_range` over integer ranges,
+//! `gen_bool`). The build environment has no registry access, so the real
+//! crate cannot be fetched; this implementation is deliberately tiny and
+//! deterministic.
+//!
+//! The generator is SplitMix64 — statistically fine for synthetic test-data
+//! generation, *not* cryptographic. Streams differ from the real `StdRng`
+//! (ChaCha12), which is acceptable: every consumer in the workspace treats
+//! the seed as an opaque reproducibility handle, never as a fixed stream.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator that can be seeded from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from integer ranges.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens to `u128` relative to `Self::MIN` for unbiased range sampling.
+    fn to_offset(self) -> u128;
+    /// Inverse of [`UniformInt::to_offset`].
+    fn from_offset(offset: u128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[allow(trivial_numeric_casts)]
+            fn to_offset(self) -> u128 {
+                (self as i128).wrapping_sub(<$t>::MIN as i128) as u128
+            }
+            #[allow(trivial_numeric_casts)]
+            fn from_offset(offset: u128) -> Self {
+                ((offset as i128).wrapping_add(<$t>::MIN as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A half-open or inclusive range that `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range; panics when the range is empty.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (self.start.to_offset(), self.end.to_offset());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_offset(lo + rng.next_u64() as u128 % (hi - lo))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (self.start().to_offset(), self.end().to_offset());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        T::from_offset(lo + rng.next_u64() as u128 % (hi - lo + 1))
+    }
+}
+
+/// The core source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from an integer range (`0..n` or `0..=n` style).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial returning `true` with probability `p` (clamped to
+    /// `[0, 1]`; the real crate panics outside that interval but every call
+    /// site here passes fractions already in range).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits -> a float in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 — the stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(0u32..=4);
+            assert!(y <= 4);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}
