@@ -127,3 +127,18 @@ pub fn pruning_queries() -> Vec<&'static str> {
         .map(|(_, q)| q)
         .collect()
 }
+
+/// The multi-query workload of the batched-throughput benchmark: the six
+/// Section-7 queries plus narrow point lookups and a negation, mimicking a
+/// serving mix where broad and narrow queries arrive concurrently against
+/// the same hospital document.
+pub fn batch_workload_queries() -> Vec<&'static str> {
+    let mut queries = pruning_queries();
+    queries.extend([
+        "//zip",
+        "department/patient/pname",
+        "department/doctor[specialty/text()='cardiology']/dname",
+        "department/patient[not(visit/treatment/test)]/pname",
+    ]);
+    queries
+}

@@ -1,0 +1,879 @@
+//! Batched multi-query HyPE evaluation.
+//!
+//! A production SMOQE deployment does not run one query per document
+//! traversal: many concurrent callers pose (often different) queries against
+//! the same document. This module drives **N compiled MFAs through a single
+//! depth-first pass**: the pending selecting-NFA states and filter-state
+//! requests are kept per query — conceptually one merged set keyed by
+//! `(query, state)` — and a subtree is descended into as soon as *any* of
+//! the batched queries still has work there. Pruning therefore only skips a
+//! subtree when **every** query agrees it is dead (its basic prune and, when
+//! an index is supplied, its OptHyPE prune both fire).
+//!
+//! Every per-query artefact — the candidate-answer DAG `cans`, the
+//! [`HypeStats`], the answer set — is built exactly as the solo evaluator
+//! would build it: whether a query participates in a child visit depends
+//! only on that query's own state at the node, so its recursion tree, vertex
+//! numbering and statistics are *identical* to a stand-alone run. The solo
+//! entry points in [`crate::engine`] are in fact implemented as the 1-query
+//! special case of this engine, and the batched-vs-sequential integration
+//! suite checks the equivalence query-by-query over the whole corpus.
+//!
+//! What batching buys is the traversal itself: a node shared by the pending
+//! sets of k queries is visited once instead of k times, so the *physical*
+//! visit count is the size of the union of the per-query visit sets
+//! ([`BatchStats::nodes_visited`]) rather than their sum
+//! ([`BatchStats::sequential_node_visits`]).
+
+use std::collections::{BTreeSet, HashMap};
+use std::rc::Rc;
+
+use smoqe_automata::{
+    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
+};
+use smoqe_xml::{LabelId, NodeId, XmlTree};
+
+use crate::engine::{HypeResult, HypeStats};
+use crate::index::ReachabilityIndex;
+
+/// One query of a batch: a compiled MFA plus, optionally, its OptHyPE(-C)
+/// reachability index.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    /// The compiled automaton.
+    pub mfa: &'a Mfa,
+    /// The DTD reachability index, when OptHyPE pruning is wanted for this
+    /// query. Queries of one batch may mix indexed and plain evaluation.
+    pub index: Option<&'a ReachabilityIndex>,
+}
+
+impl<'a> BatchQuery<'a> {
+    /// A batch member evaluated with plain HyPE.
+    pub fn new(mfa: &'a Mfa) -> Self {
+        BatchQuery { mfa, index: None }
+    }
+
+    /// A batch member evaluated with OptHyPE(-C) pruning.
+    pub fn with_index(mfa: &'a Mfa, index: &'a ReachabilityIndex) -> Self {
+        BatchQuery {
+            mfa,
+            index: Some(index),
+        }
+    }
+}
+
+/// Traversal statistics of one batched run, aggregated over all queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of queries in the batch.
+    pub queries: usize,
+    /// Number of element nodes in the evaluated subtree.
+    pub nodes_total: usize,
+    /// Number of element nodes physically visited by the shared traversal
+    /// (the size of the union of the per-query visit sets).
+    pub nodes_visited: usize,
+    /// Sum of the per-query visit counts — exactly the number of node visits
+    /// N sequential solo runs would have performed.
+    pub sequential_node_visits: usize,
+}
+
+impl BatchStats {
+    /// Node visits saved relative to running every query on its own pass.
+    pub fn visits_saved(&self) -> usize {
+        self.sequential_node_visits.saturating_sub(self.nodes_visited)
+    }
+
+    /// How many sequential visits each physical visit amortises
+    /// (`sequential / physical`, in `[1, N]` for non-empty batches).
+    pub fn sharing_factor(&self) -> f64 {
+        if self.nodes_visited == 0 {
+            1.0
+        } else {
+            self.sequential_node_visits as f64 / self.nodes_visited as f64
+        }
+    }
+}
+
+/// The result of a batched run: one [`HypeResult`] per query, in input
+/// order, plus the shared traversal statistics.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-query answers and statistics, index-aligned with the input batch.
+    pub results: Vec<HypeResult>,
+    /// Aggregate statistics of the shared traversal.
+    pub stats: BatchStats,
+}
+
+/// Evaluates every query of `queries` at the root of `tree` in one pass.
+pub fn evaluate_batch(tree: &XmlTree, queries: &[BatchQuery]) -> BatchResult {
+    evaluate_batch_at(tree, tree.root(), queries)
+}
+
+/// Evaluates every query of `queries` at `context` in one pass.
+pub fn evaluate_batch_at(tree: &XmlTree, context: NodeId, queries: &[BatchQuery]) -> BatchResult {
+    let nodes_total = tree.subtree_size(context);
+    if queries.is_empty() {
+        return BatchResult {
+            results: Vec::new(),
+            stats: BatchStats {
+                queries: 0,
+                nodes_total,
+                nodes_visited: 0,
+                sequential_node_visits: 0,
+            },
+        };
+    }
+
+    let mut engine = BatchEngine {
+        tree,
+        runtimes: queries.iter().map(|q| QueryRuntime::new(tree, q)).collect(),
+        physical_visits: 0,
+    };
+    for rt in &mut engine.runtimes {
+        rt.stats.nodes_total = nodes_total;
+    }
+
+    // Every query starts at the context node with its NFA start state and no
+    // pending filter requests — exactly the solo evaluator's initial call.
+    let pending = queries
+        .iter()
+        .enumerate()
+        .map(|(query, q)| Pending {
+            query,
+            entry_states: vec![q.mfa.nfa().start()],
+            requests: Vec::new(),
+            parent_vertices: Rc::new(Vec::new()),
+        })
+        .collect();
+    let outcomes = engine.visit(context, pending);
+
+    let mut init_of: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
+    for outcome in outcomes {
+        init_of[outcome.query] = outcome.init;
+    }
+
+    let mut results = Vec::with_capacity(queries.len());
+    let mut sequential_node_visits = 0;
+    for (query, rt) in engine.runtimes.into_iter().enumerate() {
+        let answers = collect_answers(&rt.cans, &init_of[query]);
+        let mut stats = rt.stats;
+        stats.cans_vertices = rt.cans.len();
+        stats.cans_edges = rt.cans.iter().map(|v| v.edges.len()).sum();
+        sequential_node_visits += stats.nodes_visited;
+        results.push(HypeResult { answers, stats });
+    }
+    BatchResult {
+        results,
+        stats: BatchStats {
+            queries: queries.len(),
+            nodes_total,
+            nodes_visited: engine.physical_visits,
+            sequential_node_visits,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The candidate-answer DAG (one per query).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CansVertex {
+    node: NodeId,
+    is_final: bool,
+    /// `false` once the state's AFA evaluated to false at `node`.
+    valid: bool,
+    edges: Vec<u32>,
+}
+
+/// Phase 2 of HyPE: traverse `cans` from the initial vertices through valid
+/// vertices only, collecting the nodes attached to final states.
+fn collect_answers(cans: &[CansVertex], init_vertices: &[u32]) -> BTreeSet<NodeId> {
+    let mut answers = BTreeSet::new();
+    let mut seen = vec![false; cans.len()];
+    let mut stack: Vec<u32> = init_vertices
+        .iter()
+        .filter(|&&v| cans[v as usize].valid)
+        .copied()
+        .collect();
+    for &v in &stack {
+        seen[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        let vertex = &cans[v as usize];
+        if vertex.is_final {
+            answers.insert(vertex.node);
+        }
+        for &next in &vertex.edges {
+            if !seen[next as usize] && cans[next as usize].valid {
+                seen[next as usize] = true;
+                stack.push(next);
+            }
+        }
+    }
+    answers
+}
+
+// ---------------------------------------------------------------------------
+// Per-query evaluation state.
+// ---------------------------------------------------------------------------
+
+type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
+
+/// Everything one query carries through the shared traversal: its automaton,
+/// label translation, optional index with lazily-built pruning tables, its
+/// own `cans` arena and statistics.
+struct QueryRuntime<'a> {
+    mfa: &'a Mfa,
+    label_map: LabelMap,
+    index: Option<&'a ReachabilityIndex>,
+    /// Per document label: for every NFA state, whether a final state is
+    /// reachable from it using only transitions whose labels may occur
+    /// below an element with that label (wildcards always may). Lazily
+    /// populated; used by the OptHyPE pruning rule.
+    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
+    /// Per document label, per AFA, per AFA state: whether the filter value
+    /// could possibly be true inside such a subtree (a final or a negation
+    /// is reachable through transitions allowed below the label).
+    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
+    cans: Vec<CansVertex>,
+    stats: HypeStats,
+}
+
+impl<'a> QueryRuntime<'a> {
+    fn new(tree: &XmlTree, query: &BatchQuery<'a>) -> Self {
+        QueryRuntime {
+            mfa: query.mfa,
+            label_map: LabelMap::new(query.mfa, tree.labels()),
+            index: query.index,
+            nfa_accept_below: HashMap::new(),
+            afa_true_below: HashMap::new(),
+            cans: Vec::new(),
+            stats: HypeStats::default(),
+        }
+    }
+
+    /// Closes a set of requested filter states under operator-state
+    /// successors (AND/OR/NOT ε-moves stay on the same node).
+    fn close_requests(
+        &self,
+        initial: BTreeSet<(AfaId, AfaStateId)>,
+    ) -> BTreeSet<(AfaId, AfaStateId)> {
+        let mut closure = initial.clone();
+        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
+        while let Some((afa, q)) = worklist.pop() {
+            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
+                AfaState::And(v) | AfaState::Or(v) => v.clone(),
+                AfaState::Not(x) => vec![*x],
+                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
+            };
+            for s in successors {
+                if closure.insert((afa, s)) {
+                    worklist.push((afa, s));
+                }
+            }
+        }
+        closure
+    }
+
+    // -----------------------------------------------------------------------
+    // OptHyPE pruning.
+    // -----------------------------------------------------------------------
+
+    /// `true` if this query can skip the subtree rooted at `child`: the DTD
+    /// guarantees that no selecting-NFA state pending there can reach a
+    /// final state, and every pending filter state is necessarily false.
+    fn can_skip_subtree(
+        &mut self,
+        tree: &XmlTree,
+        child: NodeId,
+        entry_states: &[StateId],
+        requests: &[(AfaId, AfaStateId)],
+    ) -> bool {
+        let Some(index) = self.index else {
+            return false;
+        };
+        let label = tree.label(child);
+        if index.allowed_below(label).is_none() {
+            return false; // label unknown to the DTD: no pruning information
+        }
+        if !self.nfa_accept_below.contains_key(&label) {
+            let table = self.compute_nfa_accept_below(label);
+            self.nfa_accept_below.insert(label, table);
+        }
+        let nfa_table = &self.nfa_accept_below[&label];
+        let closure = self.mfa.nfa().eps_closure(entry_states);
+        if closure.iter().any(|s| nfa_table[s.index()]) {
+            return false;
+        }
+        if requests.is_empty() {
+            return true;
+        }
+        if !self.afa_true_below.contains_key(&label) {
+            let table = self.compute_afa_true_below(label);
+            self.afa_true_below.insert(label, table);
+        }
+        let afa_table = &self.afa_true_below[&label];
+        requests
+            .iter()
+            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
+    }
+
+    /// Whether a label transition may fire inside a subtree whose root
+    /// carries `below_label`: wildcards always may, named labels only if the
+    /// DTD allows them below that element type.
+    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
+        match t {
+            Transition::Any => true,
+            Transition::Label(l) => {
+                let bit = l as usize;
+                allowed
+                    .get(bit / 64)
+                    .map(|w| w & (1 << (bit % 64)) != 0)
+                    .unwrap_or(false)
+            }
+        }
+    }
+
+    /// Per NFA state: can a final state be reached using only transitions
+    /// that may fire inside a subtree labelled `label`?
+    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let nfa = self.mfa.nfa();
+        let mut can = vec![false; nfa.len()];
+        for (id, state) in nfa.states() {
+            if state.is_final {
+                can[id.index()] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (id, state) in nfa.states() {
+                if can[id.index()] {
+                    continue;
+                }
+                let reach = state.eps.iter().any(|e| can[e.index()])
+                    || state.trans.iter().any(|&(t, tgt)| {
+                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
+                    });
+                if reach {
+                    can[id.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        can
+    }
+
+    /// Per AFA state: could its value be true at some node inside a subtree
+    /// labelled `label`? Over-approximated: a reachable final state or any
+    /// reachable negation makes the answer "maybe".
+    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let mut out = Vec::with_capacity(self.mfa.afas().len());
+        for afa in self.mfa.afas() {
+            let mut maybe = vec![false; afa.len()];
+            for (id, state) in afa.states() {
+                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
+                    maybe[id.index()] = true;
+                }
+            }
+            loop {
+                let mut changed = false;
+                for (id, state) in afa.states() {
+                    if maybe[id.index()] {
+                        continue;
+                    }
+                    let reach = match state {
+                        AfaState::And(v) | AfaState::Or(v) => v.iter().any(|s| maybe[s.index()]),
+                        AfaState::Not(_) | AfaState::Final(_) => true,
+                        AfaState::Trans(t, tgt) => {
+                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
+                        }
+                    };
+                    if reach {
+                        maybe[id.index()] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            out.push(maybe);
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------------
+    // Bottom-up filter evaluation.
+    // -----------------------------------------------------------------------
+
+    /// Computes the Boolean variables `X(node, state)` for every filter
+    /// state in `closure`, using the children's already-computed values.
+    fn compute_values(
+        &mut self,
+        tree: &XmlTree,
+        node: NodeId,
+        closure: &BTreeSet<(AfaId, AfaStateId)>,
+        child_values: &[(NodeId, AfaValues)],
+    ) -> AfaValues {
+        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
+        for &(afa, q) in closure {
+            let mut in_progress = BTreeSet::new();
+            self.value_of(tree, node, afa, q, child_values, &mut memo, &mut in_progress);
+        }
+        memo
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn value_of(
+        &mut self,
+        tree: &XmlTree,
+        node: NodeId,
+        afa: AfaId,
+        q: AfaStateId,
+        child_values: &[(NodeId, AfaValues)],
+        memo: &mut AfaValues,
+        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
+    ) -> bool {
+        if let Some(&v) = memo.get(&(afa, q)) {
+            return v;
+        }
+        if !in_progress.insert((afa, q)) {
+            // ε-cycle among operator states (degenerate `(.)*` filters):
+            // the least fix-point is false.
+            return false;
+        }
+        self.stats.afa_values_computed += 1;
+        let value = match self.mfa.afa(afa).state(q).clone() {
+            AfaState::Final(pred) => match pred {
+                FinalPredicate::True => true,
+                FinalPredicate::False => false,
+                FinalPredicate::TextEq(ref value) => tree.text(node) == Some(value.as_str()),
+            },
+            AfaState::Not(x) => {
+                !self.value_of(tree, node, afa, x, child_values, memo, in_progress)
+            }
+            AfaState::And(children) => children.iter().all(|&c| {
+                self.value_of(tree, node, afa, c, child_values, memo, in_progress)
+            }),
+            AfaState::Or(children) => children.iter().any(|&c| {
+                self.value_of(tree, node, afa, c, child_values, memo, in_progress)
+            }),
+            AfaState::Trans(t, tgt) => child_values.iter().any(|(child, values)| {
+                self.label_map.matches(t, tree.label(*child))
+                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
+            }),
+        };
+        in_progress.remove(&(afa, q));
+        memo.insert((afa, q), value);
+        value
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared traversal.
+// ---------------------------------------------------------------------------
+
+/// One query's pending work at a node about to be visited.
+struct Pending {
+    query: usize,
+    entry_states: Vec<StateId>,
+    requests: Vec<(AfaId, AfaStateId)>,
+    /// The `(state, cans vertex)` pairs of the query at the parent node,
+    /// used to wire parent→child edges into the query's `cans` DAG.
+    /// Reference-counted so the one list a node builds is shared by all of
+    /// its descended children instead of being cloned per child.
+    parent_vertices: Rc<Vec<(StateId, u32)>>,
+}
+
+/// What a visit hands back up, per participating query.
+struct Outcome {
+    query: usize,
+    /// Filter values computed at this node (for the parent's bottom-up pass).
+    values: AfaValues,
+    /// Vertex ids of the query's entry states at this node — the `Init` set
+    /// when this node is the evaluation context.
+    init: Vec<u32>,
+}
+
+/// Per-query state local to one node visit.
+struct Local {
+    query: usize,
+    entry_states: Vec<StateId>,
+    mstates: Vec<StateId>,
+    vertex_of: HashMap<StateId, u32>,
+    closure: BTreeSet<(AfaId, AfaStateId)>,
+    my_vertices: Rc<Vec<(StateId, u32)>>,
+}
+
+struct BatchEngine<'a> {
+    tree: &'a XmlTree,
+    runtimes: Vec<QueryRuntime<'a>>,
+    /// Nodes visited by the shared traversal (each counted once however many
+    /// queries are pending there).
+    physical_visits: usize,
+}
+
+impl BatchEngine<'_> {
+    /// Visits `node` for every query in `pending`: builds each query's
+    /// `cans` vertices, decides per child which queries still have work
+    /// there, descends once per live child, and evaluates the pending filter
+    /// states bottom-up. Returns one [`Outcome`] per element of `pending`,
+    /// in order.
+    fn visit(&mut self, node: NodeId, pending: Vec<Pending>) -> Vec<Outcome> {
+        self.physical_visits += 1;
+        let node_label = self.tree.label(node);
+
+        // Per-query front half: vertices, ε edges, parent edges, request
+        // closure — identical to the solo evaluator's bookkeeping.
+        let mut locals: Vec<Local> = Vec::with_capacity(pending.len());
+        for p in pending {
+            let rt = &mut self.runtimes[p.query];
+            rt.stats.nodes_visited += 1;
+            let nfa = rt.mfa.nfa();
+            let mstates = nfa.eps_closure(&p.entry_states);
+
+            // Vertices for every state assumed at this node.
+            let mut vertex_of: HashMap<StateId, u32> = HashMap::with_capacity(mstates.len());
+            for &s in &mstates {
+                let idx = rt.cans.len() as u32;
+                rt.cans.push(CansVertex {
+                    node,
+                    is_final: nfa.state(s).is_final,
+                    valid: true,
+                    edges: Vec::new(),
+                });
+                vertex_of.insert(s, idx);
+            }
+            // Within-node ε edges.
+            for &s in &mstates {
+                let from = vertex_of[&s];
+                for &t in &nfa.state(s).eps {
+                    if let Some(&to) = vertex_of.get(&t) {
+                        rt.cans[from as usize].edges.push(to);
+                    }
+                }
+            }
+            // Edges from the parent's vertices into this node's entry states.
+            for &(sp, vp) in p.parent_vertices.iter() {
+                for &(t, tgt) in &nfa.state(sp).trans {
+                    if rt.label_map.matches(t, node_label) {
+                        if let Some(&to) = vertex_of.get(&tgt) {
+                            rt.cans[vp as usize].edges.push(to);
+                        }
+                    }
+                }
+            }
+
+            // Filters triggered here (λ annotations) plus those requested by
+            // the parent, closed under operator-state successors.
+            let mut request_set: BTreeSet<(AfaId, AfaStateId)> = p.requests.into_iter().collect();
+            for &s in &mstates {
+                if let Some(afa) = nfa.state(s).afa {
+                    request_set.insert((afa, rt.mfa.afa(afa).start()));
+                }
+            }
+            let closure = rt.close_requests(request_set);
+
+            let my_vertices: Rc<Vec<(StateId, u32)>> =
+                Rc::new(mstates.iter().map(|&s| (s, vertex_of[&s])).collect());
+            locals.push(Local {
+                query: p.query,
+                entry_states: p.entry_states,
+                mstates,
+                vertex_of,
+                closure,
+                my_vertices,
+            });
+        }
+
+        // Shared descent: a child is visited once if any query has work
+        // there; each query's participation is decided by its own pruning
+        // rules, exactly as in a solo run.
+        let children: Vec<NodeId> = self.tree.children(node).to_vec();
+        let mut child_values: Vec<Vec<(NodeId, AfaValues)>> = vec![Vec::new(); locals.len()];
+        for child in children {
+            let child_label = self.tree.label(child);
+            let mut child_pending: Vec<Pending> = Vec::new();
+            let mut slots: Vec<usize> = Vec::new();
+            for (slot, local) in locals.iter().enumerate() {
+                let rt = &mut self.runtimes[local.query];
+                let nfa = rt.mfa.nfa();
+                let mut entry_c: Vec<StateId> = Vec::new();
+                for &s in &local.mstates {
+                    for &(t, tgt) in &nfa.state(s).trans {
+                        if rt.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
+                            entry_c.push(tgt);
+                        }
+                    }
+                }
+                let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
+                for &(afa, q) in &local.closure {
+                    if let AfaState::Trans(t, tgt) = rt.mfa.afa(afa).state(q) {
+                        if rt.label_map.matches(*t, child_label)
+                            && !requests_c.contains(&(afa, *tgt))
+                        {
+                            requests_c.push((afa, *tgt));
+                        }
+                    }
+                }
+                if entry_c.is_empty() && requests_c.is_empty() {
+                    continue; // basic pruning: nothing can happen below
+                }
+                if rt.can_skip_subtree(self.tree, child, &entry_c, &requests_c) {
+                    continue; // index pruning: all pending filter values are false
+                }
+                child_pending.push(Pending {
+                    query: local.query,
+                    entry_states: entry_c,
+                    requests: requests_c,
+                    parent_vertices: Rc::clone(&local.my_vertices),
+                });
+                slots.push(slot);
+            }
+            if child_pending.is_empty() {
+                continue;
+            }
+            let outcomes = self.visit(child, child_pending);
+            for (slot, outcome) in slots.into_iter().zip(outcomes) {
+                debug_assert_eq!(locals[slot].query, outcome.query);
+                child_values[slot].push((child, outcome.values));
+            }
+        }
+
+        // Per-query back half: bottom-up filter evaluation and vertex
+        // invalidation.
+        let mut outcomes = Vec::with_capacity(locals.len());
+        for (slot, local) in locals.into_iter().enumerate() {
+            let rt = &mut self.runtimes[local.query];
+            let values =
+                rt.compute_values(self.tree, node, &local.closure, &child_values[slot]);
+            for &s in &local.mstates {
+                if let Some(afa) = rt.mfa.nfa().state(s).afa {
+                    let holds = values
+                        .get(&(afa, rt.mfa.afa(afa).start()))
+                        .copied()
+                        .unwrap_or(false);
+                    if !holds {
+                        rt.cans[local.vertex_of[&s] as usize].valid = false;
+                    }
+                }
+            }
+            let init = local
+                .entry_states
+                .iter()
+                .filter_map(|s| local.vertex_of.get(s).copied())
+                .collect();
+            outcomes.push(Outcome {
+                query: local.query,
+                values,
+                init,
+            });
+        }
+        outcomes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{evaluate, evaluate_with_index};
+    use smoqe_automata::compile_query;
+    use smoqe_xml::hospital::hospital_document_dtd;
+    use smoqe_xml::XmlTreeBuilder;
+    use smoqe_xpath::parse_path;
+
+    /// A small document conforming to the hospital DTD.
+    fn hospital_doc() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        let dept = b.child(root, "department");
+        b.child_with_text(dept, "name", "Cardiology");
+        for (name, diag) in [
+            ("Alice", "heart disease"),
+            ("Bob", "flu"),
+            ("Carol", "heart disease"),
+        ] {
+            let p = b.child(dept, "patient");
+            b.child_with_text(p, "pname", name);
+            let addr = b.child(p, "address");
+            b.child_with_text(addr, "street", "s");
+            b.child_with_text(addr, "city", "c");
+            b.child_with_text(addr, "zip", "z");
+            let v = b.child(p, "visit");
+            b.child_with_text(v, "date", "2006-01-01");
+            let t = b.child(v, "treatment");
+            let m = b.child(t, "medication");
+            b.child_with_text(m, "type", "tablet");
+            b.child_with_text(m, "diagnosis", diag);
+            let d = b.child(dept, "doctor");
+            b.child_with_text(d, "dname", "Dr X");
+            b.child_with_text(d, "specialty", "cardiology");
+        }
+        b.finish()
+    }
+
+    const QUERIES: &[&str] = &[
+        "department/patient/pname",
+        "//zip",
+        "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+        "department/doctor[specialty/text()='cardiology']/dname",
+        "department/patient[not(visit)]",
+        "//diagnosis",
+    ];
+
+    #[test]
+    fn batch_matches_solo_runs_exactly() {
+        let doc = hospital_doc();
+        let mfas: Vec<_> = QUERIES
+            .iter()
+            .map(|q| compile_query(&parse_path(q).unwrap()))
+            .collect();
+        let batch_queries: Vec<BatchQuery> = mfas.iter().map(BatchQuery::new).collect();
+        let batch = evaluate_batch(&doc, &batch_queries);
+        assert_eq!(batch.results.len(), QUERIES.len());
+        for (i, mfa) in mfas.iter().enumerate() {
+            let solo = evaluate(&doc, mfa);
+            assert_eq!(
+                batch.results[i].answers, solo.answers,
+                "answers differ on `{}`",
+                QUERIES[i]
+            );
+            assert_eq!(
+                batch.results[i].stats, solo.stats,
+                "stats differ on `{}`",
+                QUERIES[i]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_solo_runs_with_indexes() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        let mfas: Vec<_> = QUERIES
+            .iter()
+            .map(|q| compile_query(&parse_path(q).unwrap()))
+            .collect();
+        let indexes: Vec<_> = mfas
+            .iter()
+            .map(|m| ReachabilityIndex::new(m, &dtd, doc.labels()))
+            .collect();
+        let batch_queries: Vec<BatchQuery> = mfas
+            .iter()
+            .zip(&indexes)
+            .map(|(m, i)| BatchQuery::with_index(m, i))
+            .collect();
+        let batch = evaluate_batch(&doc, &batch_queries);
+        for (i, (mfa, index)) in mfas.iter().zip(&indexes).enumerate() {
+            let solo = evaluate_with_index(&doc, mfa, index);
+            assert_eq!(batch.results[i].answers, solo.answers, "on `{}`", QUERIES[i]);
+            assert_eq!(batch.results[i].stats, solo.stats, "on `{}`", QUERIES[i]);
+        }
+    }
+
+    #[test]
+    fn shared_traversal_visits_fewer_nodes_than_sequential_sum() {
+        let doc = hospital_doc();
+        let mfas: Vec<_> = QUERIES
+            .iter()
+            .map(|q| compile_query(&parse_path(q).unwrap()))
+            .collect();
+        let batch_queries: Vec<BatchQuery> = mfas.iter().map(BatchQuery::new).collect();
+        let batch = evaluate_batch(&doc, &batch_queries);
+        let sequential: usize = mfas.iter().map(|m| evaluate(&doc, m).stats.nodes_visited).sum();
+        assert_eq!(batch.stats.sequential_node_visits, sequential);
+        assert!(
+            batch.stats.nodes_visited < sequential,
+            "batched {} visits should be fewer than sequential {}",
+            batch.stats.nodes_visited,
+            sequential
+        );
+        // The union of visit sets is at least as large as any single set.
+        let max_single = mfas
+            .iter()
+            .map(|m| evaluate(&doc, m).stats.nodes_visited)
+            .max()
+            .unwrap();
+        assert!(batch.stats.nodes_visited >= max_single);
+        assert!(batch.stats.nodes_visited <= batch.stats.nodes_total);
+        assert!(batch.stats.sharing_factor() > 1.0);
+        assert_eq!(
+            batch.stats.visits_saved(),
+            sequential - batch.stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn mixed_indexed_and_plain_queries_in_one_batch() {
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        let zip = compile_query(&parse_path("//zip").unwrap());
+        let diag = compile_query(&parse_path("//diagnosis").unwrap());
+        let index = ReachabilityIndex::new(&zip, &dtd, doc.labels());
+        let batch = evaluate_batch(
+            &doc,
+            &[BatchQuery::with_index(&zip, &index), BatchQuery::new(&diag)],
+        );
+        assert_eq!(batch.results[0].answers, evaluate_with_index(&doc, &zip, &index).answers);
+        assert_eq!(batch.results[1].answers, evaluate(&doc, &diag).answers);
+        // The indexed query prunes for itself, but the plain //diagnosis
+        // query keeps most of the document live, so the shared traversal
+        // still visits those nodes.
+        assert_eq!(
+            batch.results[0].stats.nodes_visited,
+            evaluate_with_index(&doc, &zip, &index).stats.nodes_visited
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let doc = hospital_doc();
+        let batch = evaluate_batch(&doc, &[]);
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.stats.queries, 0);
+        assert_eq!(batch.stats.nodes_visited, 0);
+        assert_eq!(batch.stats.sequential_node_visits, 0);
+        assert_eq!(batch.stats.sharing_factor(), 1.0);
+    }
+
+    #[test]
+    fn duplicate_queries_share_the_whole_traversal() {
+        let doc = hospital_doc();
+        let mfa = compile_query(&parse_path("department/patient/pname").unwrap());
+        let batch = evaluate_batch(&doc, &[BatchQuery::new(&mfa), BatchQuery::new(&mfa)]);
+        let solo = evaluate(&doc, &mfa);
+        for r in &batch.results {
+            assert_eq!(r.answers, solo.answers);
+            assert_eq!(r.stats, solo.stats);
+        }
+        // Identical pending sets → the union is one solo traversal.
+        assert_eq!(batch.stats.nodes_visited, solo.stats.nodes_visited);
+        assert_eq!(batch.stats.sequential_node_visits, 2 * solo.stats.nodes_visited);
+    }
+
+    #[test]
+    fn batch_at_inner_context() {
+        let doc = hospital_doc();
+        let mfa = compile_query(&parse_path("patient/pname").unwrap());
+        let dept = doc.children(doc.root())[0];
+        let batch = evaluate_batch_at(&doc, dept, &[BatchQuery::new(&mfa)]);
+        let solo = crate::engine::evaluate_at(&doc, dept, &mfa);
+        assert_eq!(batch.results[0].answers, solo.answers);
+        assert_eq!(batch.results[0].stats, solo.stats);
+        assert_eq!(batch.stats.nodes_total, doc.subtree_size(dept));
+    }
+}

@@ -14,19 +14,37 @@
 //! state, and (b) every pending filter state is necessarily false there.
 //! Correctness of that rule assumes the document conforms to the DTD used
 //! to build the index, which is the same assumption the paper makes.
+//!
+//! Since the batching PR there is a single implementation of the traversal:
+//! [`crate::batch`] drives N queries through one pass, and the solo entry
+//! points below are the 1-query special case of it. This keeps the hot path
+//! in one place and makes "batched equals sequential" true by construction
+//! for the solo/batch pair (the integration suite still checks it
+//! end-to-end over the whole query corpus).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
-use smoqe_automata::{
-    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
-};
-use smoqe_xml::{LabelId, NodeId, XmlTree};
+use smoqe_automata::Mfa;
+use smoqe_xml::{NodeId, XmlTree};
 
+use crate::batch::{evaluate_batch_at, BatchQuery};
 use crate::index::ReachabilityIndex;
 
 /// Execution statistics of one HyPE run, used to reproduce the paper's
 /// pruning measurements ("HyPE prunes, on average, 78.2% of the element
 /// nodes, OptHyPE 88%").
+///
+/// Accounting contract (relied on by the benchmark harness and locked in by
+/// unit tests):
+///
+/// * `nodes_total` counts the element nodes of the **evaluated subtree** —
+///   the whole document for [`evaluate`], the context's subtree for
+///   [`evaluate_at`] — never the whole arena.
+/// * `nodes_visited` counts every node the traversal actually entered, and a
+///   subtree skipped by pruning contributes zero, in **every** mode; HyPE
+///   and OptHyPE therefore share the same denominator and their
+///   [`pruned_fraction`](Self::pruned_fraction) values are directly
+///   comparable.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct HypeStats {
     /// Number of element nodes in the evaluated subtree.
@@ -83,445 +101,8 @@ pub fn evaluate_at_with(
     mfa: &Mfa,
     index: Option<&ReachabilityIndex>,
 ) -> HypeResult {
-    let mut engine = Engine::new(tree, mfa, index);
-    engine.run(context)
-}
-
-// ---------------------------------------------------------------------------
-// The candidate-answer DAG.
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct CansVertex {
-    node: NodeId,
-    is_final: bool,
-    /// `false` once the state's AFA evaluated to false at `node`.
-    valid: bool,
-    edges: Vec<u32>,
-}
-
-// ---------------------------------------------------------------------------
-// The engine proper.
-// ---------------------------------------------------------------------------
-
-struct Engine<'a> {
-    tree: &'a XmlTree,
-    mfa: &'a Mfa,
-    label_map: LabelMap,
-    index: Option<&'a ReachabilityIndex>,
-    /// Per document label: for every NFA state, whether a final state is
-    /// reachable from it using only transitions whose labels may occur
-    /// below an element with that label (wildcards always may). Lazily
-    /// populated; used by the OptHyPE pruning rule.
-    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
-    /// Per document label, per AFA, per AFA state: whether the filter value
-    /// could possibly be true inside such a subtree (a final or a negation
-    /// is reachable through transitions allowed below the label).
-    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
-    cans: Vec<CansVertex>,
-    stats: HypeStats,
-}
-
-type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
-
-impl<'a> Engine<'a> {
-    fn new(tree: &'a XmlTree, mfa: &'a Mfa, index: Option<&'a ReachabilityIndex>) -> Self {
-        Engine {
-            tree,
-            mfa,
-            label_map: LabelMap::new(mfa, tree.labels()),
-            index,
-            nfa_accept_below: HashMap::new(),
-            afa_true_below: HashMap::new(),
-            cans: Vec::new(),
-            stats: HypeStats::default(),
-        }
-    }
-
-    fn run(&mut self, context: NodeId) -> HypeResult {
-        self.stats.nodes_total = self.tree.subtree_size(context);
-        let start = self.mfa.nfa().start();
-        let init_vertices = self.visit(context, vec![start], Vec::new(), &[]).1;
-
-        // Phase 2: traverse `cans` from the initial vertices through valid
-        // vertices only, collecting the nodes attached to final states.
-        let mut answers = BTreeSet::new();
-        let mut seen = vec![false; self.cans.len()];
-        let mut stack: Vec<u32> = init_vertices
-            .iter()
-            .filter(|&&v| self.cans[v as usize].valid)
-            .copied()
-            .collect();
-        for &v in &stack {
-            seen[v as usize] = true;
-        }
-        while let Some(v) = stack.pop() {
-            let is_final = self.cans[v as usize].is_final;
-            if is_final {
-                answers.insert(self.cans[v as usize].node);
-            }
-            let edges = self.cans[v as usize].edges.clone();
-            for next in edges {
-                if !seen[next as usize] && self.cans[next as usize].valid {
-                    seen[next as usize] = true;
-                    stack.push(next);
-                }
-            }
-        }
-
-        self.stats.cans_vertices = self.cans.len();
-        self.stats.cans_edges = self.cans.iter().map(|v| v.edges.len()).sum();
-        HypeResult {
-            answers,
-            stats: self.stats,
-        }
-    }
-
-    /// Visits `node`: builds its `cans` vertices, decides which children to
-    /// descend into, evaluates the pending filter states bottom-up, and
-    /// returns (filter values computed at `node`, vertex ids of the entry
-    /// states at `node` — used as the `Init` set for the context node).
-    fn visit(
-        &mut self,
-        node: NodeId,
-        entry_states: Vec<StateId>,
-        requests: Vec<(AfaId, AfaStateId)>,
-        parent_vertices: &[(StateId, u32)],
-    ) -> (AfaValues, Vec<u32>) {
-        self.stats.nodes_visited += 1;
-        let nfa = self.mfa.nfa();
-        let mstates = nfa.eps_closure(&entry_states);
-
-        // Vertices for every state assumed at this node.
-        let mut vertex_of: HashMap<StateId, u32> = HashMap::with_capacity(mstates.len());
-        for &s in &mstates {
-            let idx = self.cans.len() as u32;
-            self.cans.push(CansVertex {
-                node,
-                is_final: nfa.state(s).is_final,
-                valid: true,
-                edges: Vec::new(),
-            });
-            vertex_of.insert(s, idx);
-        }
-        // Within-node ε edges.
-        for &s in &mstates {
-            let from = vertex_of[&s];
-            for &t in &nfa.state(s).eps {
-                if let Some(&to) = vertex_of.get(&t) {
-                    self.cans[from as usize].edges.push(to);
-                }
-            }
-        }
-        // Edges from the parent's vertices into this node's entry states.
-        let node_label = self.tree.label(node);
-        for &(sp, vp) in parent_vertices {
-            for &(t, tgt) in &nfa.state(sp).trans {
-                if self.label_map.matches(t, node_label) {
-                    if let Some(&to) = vertex_of.get(&tgt) {
-                        self.cans[vp as usize].edges.push(to);
-                    }
-                }
-            }
-        }
-
-        // Filters triggered here (λ annotations) plus those requested by the
-        // parent, closed under operator-state successors.
-        let mut request_set: BTreeSet<(AfaId, AfaStateId)> = requests.into_iter().collect();
-        for &s in &mstates {
-            if let Some(afa) = nfa.state(s).afa {
-                request_set.insert((afa, self.mfa.afa(afa).start()));
-            }
-        }
-        let closure = self.close_requests(request_set);
-
-        // Descend into the children that can contribute.
-        let my_vertices: Vec<(StateId, u32)> =
-            mstates.iter().map(|&s| (s, vertex_of[&s])).collect();
-        let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        let mut child_values: Vec<(NodeId, AfaValues)> = Vec::new();
-        for child in children {
-            let child_label = self.tree.label(child);
-            let mut entry_c: Vec<StateId> = Vec::new();
-            for &s in &mstates {
-                for &(t, tgt) in &nfa.state(s).trans {
-                    if self.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
-                        entry_c.push(tgt);
-                    }
-                }
-            }
-            let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
-            for &(afa, q) in &closure {
-                if let AfaState::Trans(t, tgt) = self.mfa.afa(afa).state(q) {
-                    if self.label_map.matches(*t, child_label)
-                        && !requests_c.contains(&(afa, *tgt))
-                    {
-                        requests_c.push((afa, *tgt));
-                    }
-                }
-            }
-            if entry_c.is_empty() && requests_c.is_empty() {
-                continue; // basic pruning: nothing can happen below
-            }
-            if self.can_skip_subtree(child, &entry_c, &requests_c) {
-                continue; // index pruning: all pending filter values are false
-            }
-            let (values, _) = self.visit(child, entry_c, requests_c, &my_vertices);
-            child_values.push((child, values));
-        }
-
-        // Bottom-up filter evaluation at this node.
-        let values = self.compute_values(node, &closure, &child_values);
-
-        // Invalidate vertices whose filter failed.
-        for &s in &mstates {
-            if let Some(afa) = nfa.state(s).afa {
-                let holds = values
-                    .get(&(afa, self.mfa.afa(afa).start()))
-                    .copied()
-                    .unwrap_or(false);
-                if !holds {
-                    self.cans[vertex_of[&s] as usize].valid = false;
-                }
-            }
-        }
-
-        let init = entry_states
-            .iter()
-            .filter_map(|s| vertex_of.get(s).copied())
-            .collect();
-        (values, init)
-    }
-
-    /// Closes a set of requested filter states under operator-state
-    /// successors (AND/OR/NOT ε-moves stay on the same node).
-    fn close_requests(
-        &self,
-        initial: BTreeSet<(AfaId, AfaStateId)>,
-    ) -> BTreeSet<(AfaId, AfaStateId)> {
-        let mut closure = initial.clone();
-        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
-        while let Some((afa, q)) = worklist.pop() {
-            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
-                AfaState::And(v) | AfaState::Or(v) => v.clone(),
-                AfaState::Not(x) => vec![*x],
-                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
-            };
-            for s in successors {
-                if closure.insert((afa, s)) {
-                    worklist.push((afa, s));
-                }
-            }
-        }
-        closure
-    }
-
-    // -----------------------------------------------------------------------
-    // OptHyPE pruning.
-    // -----------------------------------------------------------------------
-
-    /// `true` if the subtree rooted at `child` can be skipped: the DTD
-    /// guarantees that no selecting-NFA state pending there can reach a
-    /// final state, and every pending filter state is necessarily false.
-    fn can_skip_subtree(
-        &mut self,
-        child: NodeId,
-        entry_states: &[StateId],
-        requests: &[(AfaId, AfaStateId)],
-    ) -> bool {
-        if self.index.is_none() {
-            return false;
-        }
-        let label = self.tree.label(child);
-        let Some(index) = self.index else {
-            return false;
-        };
-        if index.allowed_below(label).is_none() {
-            return false; // label unknown to the DTD: no pruning information
-        }
-        if !self.nfa_accept_below.contains_key(&label) {
-            let table = self.compute_nfa_accept_below(label);
-            self.nfa_accept_below.insert(label, table);
-        }
-        let nfa_table = &self.nfa_accept_below[&label];
-        let closure = self.mfa.nfa().eps_closure(entry_states);
-        if closure.iter().any(|s| nfa_table[s.index()]) {
-            return false;
-        }
-        if requests.is_empty() {
-            return true;
-        }
-        if !self.afa_true_below.contains_key(&label) {
-            let table = self.compute_afa_true_below(label);
-            self.afa_true_below.insert(label, table);
-        }
-        let afa_table = &self.afa_true_below[&label];
-        requests
-            .iter()
-            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
-    }
-
-    /// Whether a label transition may fire inside a subtree whose root
-    /// carries `below_label`: wildcards always may, named labels only if the
-    /// DTD allows them below that element type.
-    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
-        match t {
-            Transition::Any => true,
-            Transition::Label(l) => {
-                let bit = l as usize;
-                allowed
-                    .get(bit / 64)
-                    .map(|w| w & (1 << (bit % 64)) != 0)
-                    .unwrap_or(false)
-            }
-        }
-    }
-
-    /// Per NFA state: can a final state be reached using only transitions
-    /// that may fire inside a subtree labelled `label`?
-    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
-        let index = self.index.expect("called only with an index");
-        let allowed = index
-            .allowed_below(label)
-            .expect("caller checked the label is known")
-            .to_vec();
-        let nfa = self.mfa.nfa();
-        let mut can = vec![false; nfa.len()];
-        for (id, state) in nfa.states() {
-            if state.is_final {
-                can[id.index()] = true;
-            }
-        }
-        loop {
-            let mut changed = false;
-            for (id, state) in nfa.states() {
-                if can[id.index()] {
-                    continue;
-                }
-                let reach = state.eps.iter().any(|e| can[e.index()])
-                    || state.trans.iter().any(|&(t, tgt)| {
-                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
-                    });
-                if reach {
-                    can[id.index()] = true;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        can
-    }
-
-    /// Per AFA state: could its value be true at some node inside a subtree
-    /// labelled `label`? Over-approximated: a reachable final state or any
-    /// reachable negation makes the answer "maybe".
-    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
-        let index = self.index.expect("called only with an index");
-        let allowed = index
-            .allowed_below(label)
-            .expect("caller checked the label is known")
-            .to_vec();
-        let mut out = Vec::with_capacity(self.mfa.afas().len());
-        for afa in self.mfa.afas() {
-            let mut maybe = vec![false; afa.len()];
-            for (id, state) in afa.states() {
-                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
-                    maybe[id.index()] = true;
-                }
-            }
-            loop {
-                let mut changed = false;
-                for (id, state) in afa.states() {
-                    if maybe[id.index()] {
-                        continue;
-                    }
-                    let reach = match state {
-                        AfaState::And(v) | AfaState::Or(v) => {
-                            v.iter().any(|s| maybe[s.index()])
-                        }
-                        AfaState::Not(_) | AfaState::Final(_) => true,
-                        AfaState::Trans(t, tgt) => {
-                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
-                        }
-                    };
-                    if reach {
-                        maybe[id.index()] = true;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            out.push(maybe);
-        }
-        out
-    }
-
-    // -----------------------------------------------------------------------
-    // Bottom-up filter evaluation.
-    // -----------------------------------------------------------------------
-
-    /// Computes the Boolean variables `X(node, state)` for every filter
-    /// state in `closure`, using the children's already-computed values.
-    fn compute_values(
-        &mut self,
-        node: NodeId,
-        closure: &BTreeSet<(AfaId, AfaStateId)>,
-        child_values: &[(NodeId, AfaValues)],
-    ) -> AfaValues {
-        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
-        for &(afa, q) in closure {
-            let mut in_progress = BTreeSet::new();
-            self.value_of(node, afa, q, child_values, &mut memo, &mut in_progress);
-        }
-        memo
-    }
-
-    fn value_of(
-        &mut self,
-        node: NodeId,
-        afa: AfaId,
-        q: AfaStateId,
-        child_values: &[(NodeId, AfaValues)],
-        memo: &mut AfaValues,
-        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
-    ) -> bool {
-        if let Some(&v) = memo.get(&(afa, q)) {
-            return v;
-        }
-        if !in_progress.insert((afa, q)) {
-            // ε-cycle among operator states (degenerate `(.)*` filters):
-            // the least fix-point is false.
-            return false;
-        }
-        self.stats.afa_values_computed += 1;
-        let value = match self.mfa.afa(afa).state(q).clone() {
-            AfaState::Final(pred) => match pred {
-                FinalPredicate::True => true,
-                FinalPredicate::False => false,
-                FinalPredicate::TextEq(ref value) => {
-                    self.tree.text(node) == Some(value.as_str())
-                }
-            },
-            AfaState::Not(x) => !self.value_of(node, afa, x, child_values, memo, in_progress),
-            AfaState::And(children) => children
-                .iter()
-                .all(|&c| self.value_of(node, afa, c, child_values, memo, in_progress)),
-            AfaState::Or(children) => children
-                .iter()
-                .any(|&c| self.value_of(node, afa, c, child_values, memo, in_progress)),
-            AfaState::Trans(t, tgt) => child_values.iter().any(|(child, values)| {
-                self.label_map.matches(t, self.tree.label(*child))
-                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
-            }),
-        };
-        in_progress.remove(&(afa, q));
-        memo.insert((afa, q), value);
-        value
-    }
+    let mut batch = evaluate_batch_at(tree, context, &[BatchQuery { mfa, index }]);
+    batch.results.pop().expect("one result per batched query")
 }
 
 #[cfg(test)]
@@ -765,5 +346,88 @@ mod tests {
         assert!(r.answers.is_empty());
         // Nothing matches at the root's children, so only the root is visited.
         assert_eq!(r.stats.nodes_visited, 1);
+    }
+
+    // -----------------------------------------------------------------------
+    // HypeStats accounting sweep (PR 2): the invariants documented on
+    // `HypeStats` are locked in here so later evaluator changes cannot
+    // silently break the pruning-percentage comparisons.
+    // -----------------------------------------------------------------------
+
+    #[test]
+    fn evaluate_at_counts_totals_over_the_context_subtree() {
+        // `nodes_total` must be the context's subtree size, not the arena
+        // size, for every possible context node.
+        let t = fig4_tree();
+        let q = parse_path("parent/patient[record]").unwrap();
+        let mfa = compile_query(&q);
+        for ctx in t.node_ids() {
+            let r = evaluate_at(&t, ctx, &mfa);
+            assert_eq!(
+                r.stats.nodes_total,
+                t.subtree_size(ctx),
+                "nodes_total must be the subtree size at {ctx:?}"
+            );
+            assert!(
+                r.stats.nodes_visited <= r.stats.nodes_total,
+                "visited {} > total {} at {ctx:?}",
+                r.stats.nodes_visited,
+                r.stats.nodes_total
+            );
+            assert!(r.stats.nodes_visited >= 1, "the context itself is always visited");
+        }
+    }
+
+    #[test]
+    fn pruned_fraction_is_comparable_across_modes() {
+        // HyPE, OptHyPE and OptHyPE-C must share the same `nodes_total`
+        // denominator and count skipped subtrees identically (as zero
+        // visits), so the paper's 78.2% vs 88% comparison is meaningful.
+        let doc = hospital_doc();
+        let dtd = hospital_document_dtd();
+        for query in [
+            "department/patient/pname",
+            "//zip",
+            "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
+            "department/doctor[specialty/text()='cardiology']/dname",
+        ] {
+            let q = parse_path(query).unwrap();
+            let mfa = compile_query(&q);
+            let plain = evaluate(&doc, &mfa);
+            let index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+            let opt = evaluate_with_index(&doc, &mfa, &index);
+            let cindex = ReachabilityIndex::new_compressed(&mfa, &dtd, doc.labels());
+            let optc = evaluate_with_index(&doc, &mfa, &cindex);
+            assert_eq!(plain.stats.nodes_total, opt.stats.nodes_total, "on `{query}`");
+            assert_eq!(plain.stats.nodes_total, optc.stats.nodes_total, "on `{query}`");
+            assert_eq!(plain.stats.nodes_total, doc.len(), "root run counts the whole document");
+            assert_eq!(
+                opt.stats.nodes_visited, optc.stats.nodes_visited,
+                "the two index flavours answer the same lookups on `{query}`"
+            );
+            assert!(
+                opt.stats.pruned_fraction() >= plain.stats.pruned_fraction() - 1e-12,
+                "OptHyPE must never prune less than HyPE on `{query}`"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_fraction_handles_degenerate_subtrees() {
+        let t = fig4_tree();
+        let q = parse_path("diagnosis").unwrap();
+        let mfa = compile_query(&q);
+        // A leaf context: subtree of size 1, the context is visited, nothing
+        // is pruned.
+        let leaf = t
+            .node_ids()
+            .find(|&n| t.children(n).is_empty())
+            .expect("tree has leaves");
+        let r = evaluate_at(&t, leaf, &mfa);
+        assert_eq!(r.stats.nodes_total, 1);
+        assert_eq!(r.stats.nodes_visited, 1);
+        assert_eq!(r.stats.pruned_fraction(), 0.0);
+        // The zero-total guard.
+        assert_eq!(HypeStats::default().pruned_fraction(), 0.0);
     }
 }

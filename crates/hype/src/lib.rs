@@ -27,12 +27,22 @@
 //! can ever fire another transition; the `-C` variant stores the index
 //! compressed (deduplicated rows), trading a little lookup indirection for
 //! memory.
+//!
+//! For serving many concurrent queries over the same document, the
+//! [`batch`] module drives N compiled MFAs through **one** shared pass
+//! ([`evaluate_batch`]): nodes pending for several queries are visited once,
+//! a subtree is skipped only when every query agrees it is dead, and each
+//! query still receives exactly the answers and [`HypeStats`] a solo run
+//! would produce. The solo entry points are the 1-query special case of the
+//! batched engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
 pub mod index;
 
+pub use batch::{evaluate_batch, evaluate_batch_at, BatchQuery, BatchResult, BatchStats};
 pub use engine::{evaluate, evaluate_at, evaluate_at_with, evaluate_with_index, HypeResult, HypeStats};
 pub use index::ReachabilityIndex;

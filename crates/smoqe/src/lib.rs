@@ -16,6 +16,12 @@
 //! ([`RegularXPathEngine`]) — per the paper, the first practical evaluator
 //! for regular XPath queries.
 //!
+//! For serving workloads — many concurrent queries, hot query sets, repeated
+//! documents — the [`QueryService`] front-end adds an LRU compiled-query
+//! cache (keyed by view fingerprint and normalized query text), a shared
+//! reachability-index cache, and batched evaluation that answers N queries
+//! in a single HyPE pass ([`smoqe_hype::evaluate_batch`]).
+//!
 //! ## Quick start
 //!
 //! ```
@@ -40,8 +46,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod lru;
+pub mod service;
 
 pub use engine::{CompiledQuery, EngineError, EvaluationMode, RegularXPathEngine, SmoqeEngine};
+pub use service::{QueryService, ServiceConfig, ServiceStats};
 
 // Re-export the subsystem crates so downstream users need a single dependency.
 pub use smoqe_automata as automata;

@@ -1,0 +1,161 @@
+//! A tiny least-recently-used cache for the query service.
+//!
+//! The service caches a few dozen to a few hundred compiled queries and
+//! reachability indexes; at that size a `HashMap` with last-use ticks and an
+//! `O(n)` eviction scan beats the constant factors (and the dependency
+//! weight) of an intrusive linked-list LRU, and the behaviour is trivially
+//! auditable. Eviction only runs on inserts that would exceed capacity.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug)]
+struct Entry<V> {
+    last_used: u64,
+    value: V,
+}
+
+/// A bounded map that evicts the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    evictions: u64,
+    map: HashMap<K, Entry<V>>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruCache capacity must be positive");
+        LruCache {
+            capacity,
+            tick: 0,
+            evictions: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Looks up `key`, marking the entry as most recently used. Accepts any
+    /// borrowed form of the key (e.g. `&str` for `String` keys), like
+    /// [`HashMap::get`].
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            &e.value
+        })
+    }
+
+    /// Inserts `value` under `key` (as most recently used), evicting the
+    /// least-recently-used entry if the cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.map.remove(&k);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                last_used: self.tick,
+                value,
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many entries have been evicted over the cache's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_and_gets() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // "b" is now the LRU entry
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b was least recently used");
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_one_always_holds_the_newest() {
+        let mut c = LruCache::new(1);
+        for i in 0..5 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&4), Some(&40));
+        assert_eq!(c.evictions(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+}

@@ -1,0 +1,592 @@
+//! The SMOQE query service layer.
+//!
+//! [`SmoqeEngine`] answers one query at a time and recompiles the rewrite —
+//! and rebuilds the OptHyPE reachability index — on every call. A serving
+//! deployment sees the opposite workload: a small set of hot queries posed
+//! over and over, by many concurrent callers, against the same (or few)
+//! documents. [`QueryService`] amortises everything that is recomputable:
+//!
+//! * a bounded **LRU compiled-query cache** keyed by
+//!   `(view fingerprint, normalized query text)` — `./patient` and
+//!   `patient` share one entry, and views with identical definitions share
+//!   keys across service instances;
+//! * a bounded **reachability-index cache** keyed by
+//!   `(normalized query, document-label fingerprint, compressed?)`, so the
+//!   OptHyPE(-C) index for a (query, document family) pair is built once;
+//! * a **batched evaluation front-end** ([`QueryService::evaluate_batch`])
+//!   that pushes N cached queries through a single HyPE pass
+//!   ([`smoqe_hype::evaluate_batch`]) instead of N traversals.
+//!
+//! All methods take `&self` and the caches are interior-mutable behind
+//! mutexes, so one service can be shared across threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use smoqe_hype::{BatchQuery, BatchResult, HypeResult, ReachabilityIndex};
+use smoqe_views::ViewDefinition;
+use smoqe_xml::{LabelInterner, XmlTree};
+use smoqe_xpath::{normalize, parse_path, Path};
+
+use crate::engine::{CompiledQuery, EngineError, EvaluationMode, SmoqeEngine};
+use crate::lru::LruCache;
+
+/// Sizing knobs for a [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Capacity of the compiled-query LRU cache.
+    pub compiled_capacity: usize,
+    /// Capacity of the reachability-index LRU cache.
+    pub index_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            compiled_capacity: 128,
+            index_capacity: 64,
+        }
+    }
+}
+
+/// Cache-effectiveness counters of a [`QueryService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Compiled-query lookups answered from cache.
+    pub compiled_hits: u64,
+    /// Compiled-query lookups that triggered a rewrite + compile.
+    pub compiled_misses: u64,
+    /// Compiled queries evicted by the LRU policy.
+    pub compiled_evictions: u64,
+    /// Compiled queries currently cached.
+    pub compiled_cached: usize,
+    /// Index lookups answered from cache.
+    pub index_hits: u64,
+    /// Index lookups that triggered an index build.
+    pub index_misses: u64,
+    /// Indexes evicted by the LRU policy.
+    pub index_evictions: u64,
+    /// Indexes currently cached.
+    pub index_cached: usize,
+}
+
+/// Key of the compiled-query cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct QueryKey {
+    view_fingerprint: u64,
+    query: String,
+}
+
+/// Key of the reachability-index cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IndexKey {
+    query: String,
+    doc_labels: u64,
+    compressed: bool,
+}
+
+/// A multi-query, multi-document serving front-end over one view.
+#[derive(Debug)]
+pub struct QueryService {
+    engine: SmoqeEngine,
+    fingerprint: u64,
+    /// Raw query text → normalized key text, so warm-path lookups skip the
+    /// parse + normalize + re-print entirely. Sized at a multiple of the
+    /// compiled cache (several raw spellings can map to one key).
+    text_keys: Mutex<LruCache<String, String>>,
+    compiled: Mutex<LruCache<QueryKey, Arc<CompiledQuery>>>,
+    indexes: Mutex<LruCache<IndexKey, Arc<ReachabilityIndex>>>,
+    compiled_hits: AtomicU64,
+    compiled_misses: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+}
+
+impl QueryService {
+    /// Creates a service for `view` with default cache sizes.
+    pub fn new(view: ViewDefinition) -> Result<Self, EngineError> {
+        Self::with_config(view, ServiceConfig::default())
+    }
+
+    /// Creates a service for `view` with explicit cache sizes. Capacities
+    /// are clamped to at least 1 (the caches cannot be disabled).
+    pub fn with_config(view: ViewDefinition, config: ServiceConfig) -> Result<Self, EngineError> {
+        let engine = SmoqeEngine::new(view)?;
+        let fingerprint = engine.view().fingerprint();
+        let compiled_capacity = config.compiled_capacity.max(1);
+        let index_capacity = config.index_capacity.max(1);
+        Ok(QueryService {
+            engine,
+            fingerprint,
+            text_keys: Mutex::new(LruCache::new(4 * compiled_capacity)),
+            compiled: Mutex::new(LruCache::new(compiled_capacity)),
+            indexes: Mutex::new(LruCache::new(index_capacity)),
+            compiled_hits: AtomicU64::new(0),
+            compiled_misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            index_misses: AtomicU64::new(0),
+        })
+    }
+
+    /// A service over the paper's hospital research view σ₀.
+    pub fn hospital_demo() -> Self {
+        Self::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig::default(),
+        )
+        .expect("σ₀ is a valid view")
+    }
+
+    /// The underlying single-query engine.
+    pub fn engine(&self) -> &SmoqeEngine {
+        &self.engine
+    }
+
+    /// The view this service answers queries against.
+    pub fn view(&self) -> &ViewDefinition {
+        self.engine.view()
+    }
+
+    /// The fingerprint of the view, the first half of every cache key.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The one place the cache-key scheme is defined: parse, algebraically
+    /// normalize, re-print. Returns the key text together with the
+    /// normalized AST (so callers that need to compile do not parse twice).
+    fn derive_key(query: &str) -> Result<(String, Path), EngineError> {
+        let parsed = parse_path(query)?;
+        let normalized = normalize(&parsed);
+        Ok((normalized.to_string(), normalized))
+    }
+
+    /// The canonical cache-key text of `query`: parsed, algebraically
+    /// normalized, and re-printed. Queries that normalize identically —
+    /// `./patient`, `patient`, `patient[not(not(record))]` vs
+    /// `patient[record]` — share one cache entry.
+    pub fn normalized_text(query: &str) -> Result<String, EngineError> {
+        Ok(Self::derive_key(query)?.0)
+    }
+
+    /// Parses, normalizes, rewrites and compiles `query`, or returns the
+    /// cached compilation. Warm calls for an already-seen query *text* skip
+    /// the parse entirely (raw text → key memo) and reduce to two hash
+    /// lookups.
+    pub fn compile(&self, query: &str) -> Result<Arc<CompiledQuery>, EngineError> {
+        // NB: bind the memo lookup before matching — a `match` on the guard
+        // temporary would hold the lock into the `None` arm, which re-locks.
+        let memoized: Option<String> = self.lock_text_keys().get(query).cloned();
+        let (key_text, normalized) = match memoized {
+            Some(key) => (key, None),
+            None => {
+                let (key_text, normalized) = Self::derive_key(query)?;
+                self.lock_text_keys()
+                    .insert(query.to_owned(), key_text.clone());
+                (key_text, Some(normalized))
+            }
+        };
+        let key = QueryKey {
+            view_fingerprint: self.fingerprint,
+            query: key_text,
+        };
+        if let Some(cached) = self.lock_compiled().get(&key) {
+            self.compiled_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(cached));
+        }
+        self.compiled_misses.fetch_add(1, Ordering::Relaxed);
+        // On a text-memo hit whose compilation was since evicted, recover
+        // the AST from the key text (printed normal form; normalize restores
+        // the canonical association the parser flattens).
+        let normalized = match normalized {
+            Some(n) => n,
+            None => normalize(&parse_path(&key.query).expect("cached key text re-parses")),
+        };
+        // Compile outside the lock: rewriting is the expensive part and
+        // concurrent callers of *different* queries should not serialize.
+        // Two racing callers of the same query both compile; last insert
+        // wins, which is sound because compilation is deterministic.
+        let compiled = Arc::new(self.engine.compile_path(&normalized)?);
+        self.lock_compiled().insert(key, Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// Returns the cached OptHyPE(-C) index for (`compiled`, `doc`),
+    /// building and caching it on first use.
+    fn index_for(
+        &self,
+        compiled: &CompiledQuery,
+        doc: &XmlTree,
+        compressed: bool,
+    ) -> Arc<ReachabilityIndex> {
+        let key = IndexKey {
+            query: compiled.query().to_string(),
+            doc_labels: labels_fingerprint(doc.labels()),
+            compressed,
+        };
+        if let Some(cached) = self.lock_indexes().get(&key) {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(cached);
+        }
+        self.index_misses.fetch_add(1, Ordering::Relaxed);
+        let index = Arc::new(compiled.build_index(self.view().document_dtd(), doc, compressed));
+        self.lock_indexes().insert(key, Arc::clone(&index));
+        index
+    }
+
+    /// Answers `query` over `doc` with `mode`, hitting both caches.
+    pub fn evaluate(
+        &self,
+        query: &str,
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<HypeResult, EngineError> {
+        let compiled = self.compile(query)?;
+        Ok(match mode {
+            EvaluationMode::HyPE => smoqe_hype::evaluate(doc, compiled.mfa()),
+            EvaluationMode::OptHyPE => {
+                let index = self.index_for(&compiled, doc, false);
+                smoqe_hype::evaluate_with_index(doc, compiled.mfa(), &index)
+            }
+            EvaluationMode::OptHyPEC => {
+                let index = self.index_for(&compiled, doc, true);
+                smoqe_hype::evaluate_with_index(doc, compiled.mfa(), &index)
+            }
+        })
+    }
+
+    /// Answers all of `queries` over `doc` in **one** document pass.
+    ///
+    /// Results are index-aligned with `queries`; each is identical (answers
+    /// *and* statistics) to what [`Self::evaluate`] would return for that
+    /// query alone. Spellings that normalize to the same cached compilation
+    /// are **deduplicated** before evaluation — each distinct query runs
+    /// once and its result is fanned back out to every aligned slot — so
+    /// [`BatchResult::stats`] describes the deduplicated batch
+    /// (`stats.queries` can be smaller than `queries.len()`).
+    ///
+    /// Note that pruning degrades gracefully under batching: a subtree is
+    /// skipped only when every query in the batch prunes it, so a single
+    /// broad query (e.g. `//diagnosis`) keeps nodes live that a narrow
+    /// query alone would have skipped — the per-query stats still report
+    /// each query's own pending-work visits.
+    pub fn evaluate_batch(
+        &self,
+        queries: &[&str],
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<BatchResult, EngineError> {
+        let compiled: Vec<Arc<CompiledQuery>> = queries
+            .iter()
+            .map(|q| self.compile(q))
+            .collect::<Result<_, _>>()?;
+        // Equivalent spellings come back as the same cached Arc; evaluate
+        // each distinct compilation once and fan the results back out.
+        let mut unique: Vec<Arc<CompiledQuery>> = Vec::with_capacity(compiled.len());
+        let mut slot_of: Vec<usize> = Vec::with_capacity(compiled.len());
+        for c in &compiled {
+            let slot = unique
+                .iter()
+                .position(|u| Arc::ptr_eq(u, c))
+                .unwrap_or_else(|| {
+                    unique.push(Arc::clone(c));
+                    unique.len() - 1
+                });
+            slot_of.push(slot);
+        }
+        let indexes: Vec<Option<Arc<ReachabilityIndex>>> = match mode {
+            EvaluationMode::HyPE => vec![None; unique.len()],
+            EvaluationMode::OptHyPE => unique
+                .iter()
+                .map(|c| Some(self.index_for(c, doc, false)))
+                .collect(),
+            EvaluationMode::OptHyPEC => unique
+                .iter()
+                .map(|c| Some(self.index_for(c, doc, true)))
+                .collect(),
+        };
+        let batch: Vec<BatchQuery> = unique
+            .iter()
+            .zip(&indexes)
+            .map(|(c, i)| BatchQuery {
+                mfa: c.mfa(),
+                index: i.as_deref(),
+            })
+            .collect();
+        let result = smoqe_hype::evaluate_batch(doc, &batch);
+        let results = slot_of
+            .into_iter()
+            .map(|slot| result.results[slot].clone())
+            .collect();
+        Ok(BatchResult {
+            results,
+            stats: result.stats,
+        })
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> ServiceStats {
+        let compiled = self.lock_compiled();
+        let indexes = self.lock_indexes();
+        ServiceStats {
+            compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
+            compiled_misses: self.compiled_misses.load(Ordering::Relaxed),
+            compiled_evictions: compiled.evictions(),
+            compiled_cached: compiled.len(),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
+            index_evictions: indexes.evictions(),
+            index_cached: indexes.len(),
+        }
+    }
+
+    fn lock_text_keys(&self) -> MutexGuard<'_, LruCache<String, String>> {
+        self.text_keys
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_compiled(&self) -> MutexGuard<'_, LruCache<QueryKey, Arc<CompiledQuery>>> {
+        self.compiled
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn lock_indexes(&self) -> MutexGuard<'_, LruCache<IndexKey, Arc<ReachabilityIndex>>> {
+        self.indexes
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// A stable fingerprint of a document's label interner. The reachability
+/// index maps `LabelId → row`, so documents sharing an interner layout (same
+/// names in the same id order — e.g. every document from one generator or
+/// parser run over one DTD) can share indexes. Uses the same FNV-1a folding
+/// as [`ViewDefinition::fingerprint`].
+fn labels_fingerprint(labels: &LabelInterner) -> u64 {
+    let mut h = smoqe_views::FINGERPRINT_SEED;
+    for (_, name) in labels.iter() {
+        h = smoqe_views::fingerprint_field(h, name.as_bytes());
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_toxgene::{generate_hospital, HospitalConfig};
+
+    fn doc(seed: u64) -> XmlTree {
+        generate_hospital(&HospitalConfig {
+            patients: 25,
+            heart_disease_fraction: 0.4,
+            max_ancestor_depth: 2,
+            seed,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_compiled_cache() {
+        let service = QueryService::hospital_demo();
+        let d = doc(1);
+        for _ in 0..5 {
+            service.evaluate("patient/record", &d, EvaluationMode::HyPE).unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.compiled_misses, 1);
+        assert_eq!(stats.compiled_hits, 4);
+        assert_eq!(stats.compiled_cached, 1);
+    }
+
+    #[test]
+    fn normalization_merges_equivalent_query_texts() {
+        let service = QueryService::hospital_demo();
+        let d = doc(1);
+        let a = service.evaluate("./patient/./record", &d, EvaluationMode::HyPE).unwrap();
+        let b = service.evaluate("patient/record", &d, EvaluationMode::HyPE).unwrap();
+        let c = service.evaluate("patient[not(not(record))]/record | patient/record", &d, EvaluationMode::HyPE);
+        assert!(c.is_ok());
+        assert_eq!(a.answers, b.answers);
+        let stats = service.stats();
+        // `./patient/./record` and `patient/record` normalize to one key.
+        assert_eq!(stats.compiled_misses, 2);
+        assert_eq!(stats.compiled_hits, 1);
+        assert_eq!(
+            QueryService::normalized_text("./patient/./record").unwrap(),
+            "patient/record"
+        );
+    }
+
+    #[test]
+    fn service_answers_match_the_engine() {
+        let service = QueryService::hospital_demo();
+        let engine = SmoqeEngine::hospital_demo();
+        let d = doc(7);
+        for query in [
+            "patient",
+            "patient/record/diagnosis",
+            "(patient/parent)*/patient[record]",
+            "patient[not(parent)]",
+        ] {
+            for mode in [
+                EvaluationMode::HyPE,
+                EvaluationMode::OptHyPE,
+                EvaluationMode::OptHyPEC,
+            ] {
+                let by_service = service.evaluate(query, &d, mode).unwrap();
+                let by_engine = engine.answer_with_stats(query, &d, mode).unwrap();
+                assert_eq!(by_service.answers, by_engine.answers, "on `{query}` ({mode:?})");
+                assert_eq!(by_service.stats, by_engine.stats, "on `{query}` ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn indexes_are_shared_across_calls_and_documents_with_one_interner() {
+        let service = QueryService::hospital_demo();
+        let d1 = doc(1);
+        service.evaluate("patient/record", &d1, EvaluationMode::OptHyPE).unwrap();
+        service.evaluate("patient/record", &d1, EvaluationMode::OptHyPE).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.index_misses, 1);
+        assert_eq!(stats.index_hits, 1);
+        // A distinct document instance with the same interner layout (same
+        // generator run) shares the cached index.
+        let d2 = doc(1);
+        service.evaluate("patient/record", &d2, EvaluationMode::OptHyPE).unwrap();
+        assert_eq!(service.stats().index_misses, 1);
+        assert_eq!(service.stats().index_hits, 2);
+        // A document whose interner differs (different content ⇒ different
+        // interning order) must NOT reuse the index: its LabelIds would row
+        // into the wrong entries.
+        let d3 = doc(2);
+        service.evaluate("patient/record", &d3, EvaluationMode::OptHyPE).unwrap();
+        assert_eq!(service.stats().index_misses, 2);
+        // The compressed flavour is a distinct cache entry.
+        service.evaluate("patient/record", &d1, EvaluationMode::OptHyPEC).unwrap();
+        assert_eq!(service.stats().index_misses, 3);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let service = QueryService::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig {
+                compiled_capacity: 2,
+                index_capacity: 2,
+            },
+        )
+        .unwrap();
+        let d = doc(1);
+        service.evaluate("patient", &d, EvaluationMode::HyPE).unwrap();
+        service.evaluate("patient/record", &d, EvaluationMode::HyPE).unwrap();
+        service.evaluate("patient/parent", &d, EvaluationMode::HyPE).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.compiled_cached, 2);
+        assert_eq!(stats.compiled_evictions, 1);
+        // The evicted entry ("patient") recompiles on next use.
+        service.evaluate("patient", &d, EvaluationMode::HyPE).unwrap();
+        assert_eq!(service.stats().compiled_misses, 4);
+    }
+
+    #[test]
+    fn batch_results_align_with_solo_evaluation() {
+        let service = QueryService::hospital_demo();
+        let d = doc(3);
+        let queries = ["patient", "patient/record/diagnosis", "patient[not(parent)]"];
+        let batch = service
+            .evaluate_batch(&queries, &d, EvaluationMode::HyPE)
+            .unwrap();
+        assert_eq!(batch.results.len(), queries.len());
+        assert_eq!(batch.stats.queries, queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            let solo = service.evaluate(query, &d, EvaluationMode::HyPE).unwrap();
+            assert_eq!(batch.results[i].answers, solo.answers, "on `{query}`");
+            assert_eq!(batch.results[i].stats, solo.stats, "on `{query}`");
+        }
+        assert!(batch.stats.nodes_visited <= batch.stats.sequential_node_visits);
+    }
+
+    #[test]
+    fn batch_dedupes_equivalent_spellings() {
+        let service = QueryService::hospital_demo();
+        let d = doc(3);
+        let queries = ["patient/record", "./patient/./record", "patient"];
+        let batch = service
+            .evaluate_batch(&queries, &d, EvaluationMode::HyPE)
+            .unwrap();
+        // Three slots come back, but only two distinct queries were run.
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.stats.queries, 2);
+        assert_eq!(batch.results[0].answers, batch.results[1].answers);
+        assert_eq!(batch.results[0].stats, batch.results[1].stats);
+        let solo = service.evaluate("patient/record", &d, EvaluationMode::HyPE).unwrap();
+        assert_eq!(batch.results[1].answers, solo.answers);
+    }
+
+    #[test]
+    fn zero_capacities_are_clamped_not_panicking() {
+        let service = QueryService::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig {
+                compiled_capacity: 0,
+                index_capacity: 0,
+            },
+        )
+        .unwrap();
+        let d = doc(1);
+        let r = service.evaluate("patient", &d, EvaluationMode::OptHyPE).unwrap();
+        assert!(r.stats.nodes_total > 0, "evaluation ran despite zero-capacity config");
+        assert_eq!(service.stats().compiled_cached, 1);
+    }
+
+    #[test]
+    fn malformed_queries_surface_parse_errors() {
+        let service = QueryService::hospital_demo();
+        let d = doc(1);
+        assert!(matches!(
+            service.evaluate("patient[", &d, EvaluationMode::HyPE),
+            Err(EngineError::Query(_))
+        ));
+        assert!(service
+            .evaluate_batch(&["patient", "patient["], &d, EvaluationMode::HyPE)
+            .is_err());
+    }
+
+    #[test]
+    fn services_over_identical_views_share_fingerprints() {
+        let a = QueryService::hospital_demo();
+        let b = QueryService::hospital_demo();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        let service = std::sync::Arc::new(QueryService::hospital_demo());
+        let d = std::sync::Arc::new(doc(5));
+        let expected = service.evaluate("patient/record", &d, EvaluationMode::OptHyPE).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let service = std::sync::Arc::clone(&service);
+                let d = std::sync::Arc::clone(&d);
+                let expected = expected.answers.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let got = service
+                            .evaluate("patient/record", &d, EvaluationMode::OptHyPE)
+                            .unwrap();
+                        assert_eq!(got.answers, expected);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = service.stats();
+        assert_eq!(stats.compiled_misses, 1, "all threads share one compilation");
+        assert_eq!(stats.compiled_hits, 40);
+    }
+}

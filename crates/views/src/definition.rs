@@ -176,6 +176,35 @@ impl ViewDefinition {
         self.view_dtd.is_recursive()
     }
 
+    /// A stable fingerprint of the whole definition — both DTDs and every
+    /// annotation query. Two views with the same fingerprint rewrite every
+    /// query identically, so the fingerprint is usable as (part of) a
+    /// compiled-query cache key in the service layer.
+    ///
+    /// FNV-1a over a canonical serialization (see [`fingerprint_field`]);
+    /// stable across runs of the same build (it does not use
+    /// [`std::hash::Hash`], whose output may vary).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FINGERPRINT_SEED;
+        for dtd in [&self.document_dtd, &self.view_dtd] {
+            h = fingerprint_field(h, dtd.root().as_bytes());
+            let mut types = dtd.element_types();
+            types.sort_unstable();
+            for ty in types {
+                h = fingerprint_field(h, ty.as_bytes());
+                if let Some(model) = dtd.production(ty) {
+                    h = fingerprint_field(h, format!("{model:?}").as_bytes());
+                }
+            }
+        }
+        for ((parent, child), query) in &self.annotations {
+            h = fingerprint_field(h, parent.as_bytes());
+            h = fingerprint_field(h, child.as_bytes());
+            h = fingerprint_field(h, query.to_string().as_bytes());
+        }
+        h
+    }
+
     /// Checks that both DTDs are well-formed and that every edge of the view
     /// DTD carries an annotation.
     pub fn check(&self) -> Result<(), ViewError> {
@@ -201,6 +230,23 @@ impl ViewDefinition {
         }
         Ok(())
     }
+}
+
+/// The FNV-1a offset basis, the starting value for every stable fingerprint
+/// in the workspace (see [`fingerprint_field`]).
+pub const FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one length-delimited field into a stable FNV-1a fingerprint:
+/// hashes `bytes`, then a `\x1f` unit separator so adjacent fields cannot
+/// alias (`"ab" + "c"` vs `"a" + "bc"`). Shared by
+/// [`ViewDefinition::fingerprint`] and the query service's document-label
+/// fingerprints, which must never drift apart — both feed the same cache
+/// key scheme.
+pub fn fingerprint_field(h: u64, bytes: &[u8]) -> u64 {
+    let h = bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
+    (h ^ 0x1f).wrapping_mul(0x100_0000_01b3)
 }
 
 /// Builds the running example σ₀ of Fig. 1(c): the heart-disease research
@@ -305,6 +351,25 @@ mod tests {
         let v = hospital_view();
         // Q1 alone has size > 5; the total must exceed the number of edges.
         assert!(v.size() > 10);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_annotation_sensitive() {
+        let a = hospital_view();
+        let b = hospital_view();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same view, same fingerprint");
+
+        // Changing any annotation must change the fingerprint.
+        let mut c = hospital_view();
+        c.annotate_str("patient", "record", "visit/treatment").unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // An incomplete view fingerprints differently from the full one.
+        let mut partial = ViewDefinition::new(hospital_document_dtd(), hospital_view_dtd());
+        partial
+            .annotate_str("hospital", "patient", "department/patient")
+            .unwrap();
+        assert_ne!(a.fingerprint(), partial.fingerprint());
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub mod definition;
 pub mod materialize;
 pub mod security;
 
-pub use definition::{hospital_view, ViewDefinition, ViewError};
+pub use definition::{
+    fingerprint_field, hospital_view, ViewDefinition, ViewError, FINGERPRINT_SEED,
+};
 pub use materialize::{materialize, MaterializedView};
 pub use security::{derive_view, Access, SecuritySpec};

@@ -234,14 +234,15 @@ impl fmt::Display for Path {
 }
 
 impl Path {
-    /// Whether the printed form's left-most step would be a descendant axis —
-    /// such a path cannot be printed directly after `//` (it would fuse into
-    /// an unparseable `////`).
-    fn leads_with_descendant(&self) -> bool {
+    /// Appends the steps of a `Seq` chain — in either association — to
+    /// `out`, in order. Non-`Seq` paths are single steps.
+    fn flatten_seq<'p>(&'p self, out: &mut Vec<&'p Path>) {
         match self {
-            Path::DescendantOrSelf => true,
-            Path::Seq(a, _) => a.leads_with_descendant(),
-            _ => false,
+            Path::Seq(a, b) => {
+                a.flatten_seq(out);
+                b.flatten_seq(out);
+            }
+            other => out.push(other),
         }
     }
 
@@ -266,35 +267,47 @@ impl Path {
                 }
                 Ok(())
             }
-            Path::Seq(a, b) => {
+            Path::Seq(..) => {
                 if prec > 1 {
                     write!(f, "(")?;
                 }
-                // A leading descendant axis prints as `//b`, exactly as the
-                // parser's `primary := '//' step` production reads it back.
-                if matches!(**a, Path::DescendantOrSelf) && !b.leads_with_descendant() {
-                    write!(f, "//")?;
-                    b.fmt_prec(f, 1)?;
-                    if prec > 1 {
-                        write!(f, ")")?;
-                    }
-                    return Ok(());
-                }
-                // `a // b` prints more readably than `a/descendant-or-self()/b`.
-                if let Path::Seq(mid, rest) = &**b {
-                    if matches!(**mid, Path::DescendantOrSelf) && !rest.leads_with_descendant() {
-                        a.fmt_prec(f, 1)?;
-                        write!(f, "//")?;
-                        rest.fmt_prec(f, 1)?;
-                        if prec > 1 {
-                            write!(f, ")")?;
+                // Print the whole chain at once: a descendant-or-self step
+                // becomes the `//` separator (`a//b`, or a leading `//b`),
+                // and where that shorthand cannot be used — two axes in a
+                // row, or a trailing axis — an explicit `.` step keeps the
+                // output parseable (`a//.//b`, `a//.`). Flattening the chain
+                // first is what makes this safe for *any* association: a
+                // nested `Seq(DescendantOrSelf, x)` must never print its
+                // leading-`//` form in the middle of a chain (`a///x`).
+                let mut steps = Vec::new();
+                self.flatten_seq(&mut steps);
+                let mut first = true;
+                let mut pending_axis = false;
+                for step in steps {
+                    if matches!(step, Path::DescendantOrSelf) {
+                        if pending_axis {
+                            write!(f, "//.")?;
+                            first = false;
                         }
-                        return Ok(());
+                        pending_axis = true;
+                        continue;
                     }
+                    match (first, pending_axis) {
+                        (true, true) | (false, true) => write!(f, "//")?,
+                        (true, false) => {}
+                        (false, false) => write!(f, "/")?,
+                    }
+                    step.fmt_prec(f, 1)?;
+                    first = false;
+                    pending_axis = false;
                 }
-                a.fmt_prec(f, 1)?;
-                write!(f, "/")?;
-                b.fmt_prec(f, 1)?;
+                if pending_axis {
+                    // The chain ends in a descendant axis (`a//` would not
+                    // parse); `Seq` always has ≥ 2 steps, so `first` can only
+                    // still be true for an all-axis chain, whose earlier
+                    // axes were materialised above.
+                    write!(f, "//.")?;
+                }
                 if prec > 1 {
                     write!(f, ")")?;
                 }
@@ -467,4 +480,149 @@ mod tests {
         let p = Path::label("a").or(Path::label("b")).then(Path::label("c"));
         assert_eq!(p.to_string(), "(a | b)/c");
     }
+
+    // -----------------------------------------------------------------------
+    // Print/parse round-trip corners (PR 2 sweep): each programmatically
+    // built AST must survive `parse(display(p))` up to normalisation. The
+    // exhaustive version of this check is the `display_parse_round_trip_
+    // normalizes_to_the_same_ast` property test in the integration suite.
+    // -----------------------------------------------------------------------
+
+    use crate::normalize::normalize;
+    use crate::parser::parse_path;
+
+    fn assert_round_trips(p: &Path) {
+        let printed = p.to_string();
+        let reparsed = parse_path(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        assert_eq!(
+            normalize(&reparsed),
+            normalize(p),
+            "`{printed}` re-parses to a different AST"
+        );
+    }
+
+    #[test]
+    fn nested_unions_round_trip_in_both_associations() {
+        let a = || Path::label("a");
+        let b = || Path::label("b");
+        let c = || Path::label("c");
+        let d = || Path::label("d");
+        // Right-nested: prints flat, reparses left-nested — normalisation
+        // must reconcile the two.
+        assert_round_trips(&a().or(b().or(c())));
+        assert_round_trips(&a().or(b()).or(c()));
+        assert_round_trips(&a().or(b()).or(c().or(d())));
+        // Unions under sequence, star and filter keep their grouping.
+        assert_round_trips(&a().or(b().then(c())).or(d()));
+        assert_round_trips(&a().or(b()).star().then(c().or(d())));
+        assert_round_trips(&Path::Filter(
+            Box::new(a().or(b()).or(c())),
+            Box::new(Pred::exists(d().or(a()))),
+        ));
+    }
+
+    #[test]
+    fn negation_corners_round_trip() {
+        let a = || Path::label("a");
+        let b = || Path::label("b");
+        assert_round_trips(&a().filter(Pred::exists(b()).not()));
+        assert_round_trips(&a().filter(Pred::exists(b()).not().not()));
+        assert_round_trips(&a().filter(
+            Pred::exists(b()).not().and(Pred::text_eq(a(), "x").not()),
+        ));
+        assert_round_trips(&a().filter(
+            Pred::exists(b()).or(Pred::exists(a())).not(),
+        ));
+        // not over a union path and over a starred group.
+        assert_round_trips(&a().filter(Pred::exists(a().or(b())).not()));
+        assert_round_trips(&a().filter(Pred::exists(a().then(b()).star()).not()));
+    }
+
+    #[test]
+    fn kleene_group_corners_round_trip() {
+        let a = || Path::label("a");
+        let b = || Path::label("b");
+        assert_round_trips(&a().star());
+        assert_round_trips(&a().star().star());
+        assert_round_trips(&Path::Empty.star());
+        assert_round_trips(&Path::AnyLabel.star());
+        assert_round_trips(&a().then(b()).star());
+        assert_round_trips(&a().or(b()).star());
+        assert_round_trips(&a().filter(Pred::exists(b())).star());
+        assert_round_trips(&a().star().filter(Pred::exists(b().star())));
+        assert_round_trips(&Path::DescendantOrSelf.star());
+        assert_round_trips(&Path::DescendantOrSelf.then(a()).star());
+    }
+
+    #[test]
+    fn nested_leading_axis_groups_do_not_print_triple_slashes() {
+        // Regression (found by the differential property test): a left-nested
+        // `Seq(DescendantOrSelf, ε)` used to print its leading-`//` shorthand
+        // in the middle of a chain, yielding the unparseable `a///./.`.
+        let p = Path::Seq(
+            Box::new(Path::label("a")),
+            Box::new(Path::Seq(
+                Box::new(Path::Seq(
+                    Box::new(Path::DescendantOrSelf),
+                    Box::new(Path::Empty),
+                )),
+                Box::new(Path::Empty),
+            )),
+        );
+        assert_eq!(p.to_string(), "a//./.");
+        assert_round_trips(&p);
+        // Adjacent and trailing axes materialise explicit `.` steps.
+        assert_eq!(
+            Path::DescendantOrSelf.then(Path::DescendantOrSelf).to_string(),
+            "//.//."
+        );
+        assert_eq!(Path::label("a").then(Path::DescendantOrSelf).to_string(), "a//.");
+        assert_eq!(
+            Path::label("a")
+                .then(Path::DescendantOrSelf)
+                .then(Path::DescendantOrSelf)
+                .then(Path::label("b"))
+                .to_string(),
+            "a//.//b"
+        );
+    }
+
+    #[test]
+    fn descendant_axis_corners_round_trip() {
+        let a = || Path::label("a");
+        let b = || Path::label("b");
+        assert_round_trips(&Path::DescendantOrSelf);
+        assert_round_trips(&Path::DescendantOrSelf.then(a()));
+        assert_round_trips(&a().then(Path::DescendantOrSelf));
+        assert_round_trips(&a().then(Path::DescendantOrSelf.then(Path::DescendantOrSelf.then(b()))));
+        assert_round_trips(&Path::DescendantOrSelf.then(Path::DescendantOrSelf));
+        assert_round_trips(&Path::Filter(
+            Box::new(Path::DescendantOrSelf),
+            Box::new(Pred::exists(b())),
+        ));
+        assert_round_trips(&Pred::text_eq(Path::DescendantOrSelf.then(a()), "x")
+            .pipe(|q| Path::label("p").filter(q)));
+    }
+
+    #[test]
+    fn boolean_operator_associativity_round_trips() {
+        let e = |l: &str| Pred::exists(Path::label(l));
+        let p = |q: Pred| Path::label("p").filter(q);
+        assert_round_trips(&p(e("a").and(e("b").and(e("c")))));
+        assert_round_trips(&p(e("a").and(e("b")).and(e("c"))));
+        assert_round_trips(&p(e("a").or(e("b").or(e("c")))));
+        assert_round_trips(&p(e("a").or(e("b")).or(e("c"))));
+        assert_round_trips(&p(e("a").and(e("b")).or(e("c").and(e("d")))));
+        assert_round_trips(&p(e("a").or(e("b")).and(e("c").or(e("d")))));
+    }
+
+    /// Small test-only helper: apply `f` to `self` (lets predicate builders
+    /// read left-to-right in the round-trip corner tests).
+    trait Pipe: Sized {
+        fn pipe<T>(self, f: impl FnOnce(Self) -> T) -> T {
+            f(self)
+        }
+    }
+    impl<T> Pipe for T {}
 }

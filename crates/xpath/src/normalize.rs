@@ -66,13 +66,28 @@ fn simplify_path(path: &Path) -> Path {
             }
         }
         Path::Union(a, b) => {
-            let a = simplify_path(a);
-            let b = simplify_path(b);
-            if a == b {
-                a
-            } else {
-                Path::Union(Box::new(a), Box::new(b))
+            // Canonicalise the whole union chain at once: flatten (either
+            // association), drop duplicate members wherever they sit, and
+            // rebuild right-nested. The printer emits `a | b | c` for either
+            // association and the parser reads it back left-nested, so a
+            // canonical shape — with *chain-wide* deduplication, not just
+            // adjacent-pair — is required for print/parse round trips to be
+            // AST-stable.
+            let mut members = Vec::new();
+            flatten_union(simplify_path(a), &mut members);
+            flatten_union(simplify_path(b), &mut members);
+            let mut unique: Vec<Path> = Vec::new();
+            for m in members {
+                if !unique.contains(&m) {
+                    unique.push(m);
+                }
             }
+            let mut iter = unique.into_iter().rev();
+            let mut chain = iter.next().expect("a union has at least one member");
+            for m in iter {
+                chain = Path::Union(Box::new(m), Box::new(chain));
+            }
+            chain
         }
         Path::Star(inner) => {
             let inner = simplify_path(inner);
@@ -96,6 +111,18 @@ fn simplify_path(path: &Path) -> Path {
             }
             Path::Filter(Box::new(p), Box::new(q))
         }
+    }
+}
+
+/// Appends the members of an (already simplified) union chain to `out`, in
+/// order; non-union paths are single members.
+fn flatten_union(path: Path, out: &mut Vec<Path>) {
+    match path {
+        Path::Union(a, b) => {
+            flatten_union(*a, out);
+            flatten_union(*b, out);
+        }
+        other => out.push(other),
     }
 }
 
@@ -262,5 +289,53 @@ mod tests {
         );
         let right = Path::chain(&["a", "b", "c"]);
         assert_eq!(normalize(&left), normalize(&right));
+    }
+
+    #[test]
+    fn union_right_association_is_canonical() {
+        // The printer flattens either association to `a | b | c` and the
+        // parser reads that back left-nested; normalisation must map both
+        // shapes to one canonical AST (PR 2 round-trip sweep).
+        let left = Path::Union(
+            Box::new(Path::Union(
+                Box::new(Path::label("a")),
+                Box::new(Path::label("b")),
+            )),
+            Box::new(Path::label("c")),
+        );
+        let right = Path::Union(
+            Box::new(Path::label("a")),
+            Box::new(Path::Union(
+                Box::new(Path::label("b")),
+                Box::new(Path::label("c")),
+            )),
+        );
+        assert_eq!(normalize(&left), normalize(&right));
+        assert_eq!(normalize(&left), normalize(&parse_path("a | b | c").unwrap()));
+        // Still equivalent on a real document, and idempotent.
+        assert_equivalent_and_not_larger("patient | record | diagnosis | patient");
+        assert_eq!(normalize(&normalize(&left)), normalize(&left));
+    }
+
+    #[test]
+    fn union_duplicates_are_dropped_chain_wide() {
+        // Regression (code review of PR 2): `a | (a | b)` used to keep both
+        // `a`s — the duplicate check only compared siblings — so it printed
+        // as `a | a | b`, reparsed left-nested, and normalized differently.
+        let dup = Path::Union(
+            Box::new(Path::label("a")),
+            Box::new(Path::Union(
+                Box::new(Path::label("a")),
+                Box::new(Path::label("b")),
+            )),
+        );
+        assert_eq!(normalize(&dup), normalize(&parse_path("a | b").unwrap()));
+        let reparsed = parse_path(&dup.to_string()).unwrap();
+        assert_eq!(normalize(&reparsed), normalize(&dup));
+        assert_eq!(
+            normalize(&parse_path("a | b | a | c | b").unwrap()),
+            normalize(&parse_path("a | b | c").unwrap())
+        );
+        assert_equivalent_and_not_larger("patient | (patient | record)");
     }
 }

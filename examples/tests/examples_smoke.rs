@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "hospital_access_control",
     "heredity_patterns",
     "materialize_vs_rewrite",
+    "query_service",
 ];
 
 #[test]

@@ -135,6 +135,30 @@ proptest! {
         prop_assert_eq!(reparsed.to_string(), printed);
     }
 
+    /// Stronger, differential form of the round trip (PR 2 sweep):
+    /// `parse(display(p))` must be the *same AST* as `p` up to algebraic
+    /// normalisation — not merely print to the same string. This pins the
+    /// operator/precedence corners (nested unions, `not(...)`, Kleene
+    /// groups, `//` noise) that a print fixed-point alone cannot see, and is
+    /// what makes normalized query text a sound cache key for the service
+    /// layer.
+    #[test]
+    fn display_parse_round_trip_normalizes_to_the_same_ast(query in path_strategy(4)) {
+        let printed = query.to_string();
+        let reparsed = parse_path(&printed)
+            .unwrap_or_else(|e| panic!("re-parse of `{printed}` failed: {e}"));
+        let canonical = smoqe_xpath::normalize(&query);
+        let canonical_reparsed = smoqe_xpath::normalize(&reparsed);
+        if canonical_reparsed != canonical {
+            panic!(
+                "`{printed}` re-parses to a different normalized AST:\n  \
+                 original:  {canonical}\n  reparsed:  {canonical_reparsed}"
+            );
+        }
+        // Normalisation itself must stay idempotent on parsed input.
+        prop_assert_eq!(smoqe_xpath::normalize(&canonical_reparsed), canonical);
+    }
+
     /// Generated hospital documents always validate against the DTD and
     /// keep the arena consistent.
     #[test]
