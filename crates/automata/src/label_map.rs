@@ -35,6 +35,27 @@ impl LabelMap {
         LabelMap { doc_to_mfa }
     }
 
+    /// Number of document labels the map currently covers.
+    pub fn len(&self) -> usize {
+        self.doc_to_mfa.len()
+    }
+
+    /// `true` if the map covers no document labels yet.
+    pub fn is_empty(&self) -> bool {
+        self.doc_to_mfa.is_empty()
+    }
+
+    /// Extends the map with document labels interned *after* the map was
+    /// built. The streaming evaluator interns labels as `Open` events
+    /// arrive, so its maps grow with the document instead of being complete
+    /// up front; ids already covered are left untouched.
+    pub fn extend(&mut self, mfa: &Mfa, doc_labels: &LabelInterner) {
+        for (doc_id, name) in doc_labels.iter().skip(self.doc_to_mfa.len()) {
+            debug_assert_eq!(doc_id.index(), self.doc_to_mfa.len());
+            self.doc_to_mfa.push(mfa.labels().get(name).map(|id| id.0));
+        }
+    }
+
     /// Translates a document label id into the MFA's id, if the MFA knows it.
     #[inline]
     pub fn translate(&self, doc_label: LabelId) -> Option<u32> {
@@ -75,6 +96,33 @@ mod tests {
         assert!(map.matches(Transition::Label(patient), doc_patient));
         assert!(!map.matches(Transition::Label(patient), doc_doctor));
         assert!(map.matches(Transition::Any, doc_doctor));
+    }
+
+    #[test]
+    fn extend_covers_labels_interned_after_construction() {
+        let mut b = MfaBuilder::new();
+        let patient = b.intern_label("patient");
+        let s = b.new_state();
+        b.set_start(s);
+        let mfa = b.finish();
+
+        let mut doc_labels = LabelInterner::new();
+        let hospital = doc_labels.intern("hospital");
+        let mut map = LabelMap::new(&mfa, &doc_labels);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.translate(hospital), None);
+
+        // A streamed document reveals new labels mid-parse.
+        let doc_patient = doc_labels.intern("patient");
+        let doc_ward = doc_labels.intern("ward");
+        map.extend(&mfa, &doc_labels);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.translate(doc_patient), Some(patient));
+        assert_eq!(map.translate(doc_ward), None);
+        assert!(!map.is_empty());
+        // Extending again with no new labels is a no-op.
+        map.extend(&mfa, &doc_labels);
+        assert_eq!(map.len(), 3);
     }
 
     #[test]

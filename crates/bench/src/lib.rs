@@ -16,6 +16,9 @@
 //! under test are *relative* — which system is faster, by what factor, and
 //! how the curves scale — and those are preserved at the smaller scale.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use smoqe_toxgene::{generate_hospital, HospitalConfig};
 use smoqe_xml::XmlTree;
 

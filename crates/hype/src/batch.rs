@@ -11,7 +11,7 @@
 //! an index is supplied, its OptHyPE prune both fire).
 //!
 //! Every per-query artefact — the candidate-answer DAG `cans`, the
-//! [`HypeStats`], the answer set — is built exactly as the solo evaluator
+//! [`HypeStats`](crate::HypeStats), the answer set — is built exactly as the solo evaluator
 //! would build it: whether a query participates in a child visit depends
 //! only on that query's own state at the node, so its recursion tree, vertex
 //! numbering and statistics are *identical* to a stand-alone run. The solo
@@ -28,13 +28,12 @@
 use std::collections::{BTreeSet, HashMap};
 use std::rc::Rc;
 
-use smoqe_automata::{
-    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
-};
+use smoqe_automata::{AfaId, AfaState, AfaStateId, Mfa, StateId};
 use smoqe_xml::{LabelId, NodeId, XmlTree};
 
-use crate::engine::{HypeResult, HypeStats};
+use crate::engine::HypeResult;
 use crate::index::ReachabilityIndex;
+use crate::runtime::{collect_answers, AfaValues, QueryRuntime};
 
 /// One query of a batch: a compiled MFA plus, optionally, its OptHyPE(-C)
 /// reachability index.
@@ -105,6 +104,33 @@ pub struct BatchResult {
 }
 
 /// Evaluates every query of `queries` at the root of `tree` in one pass.
+///
+/// Results are index-aligned with `queries`, and each one is exactly what a
+/// solo [`crate::evaluate`] run would have produced — answers *and*
+/// [`HypeStats`](crate::HypeStats) — while the document is traversed only once:
+///
+/// ```
+/// use smoqe_automata::compile_query;
+/// use smoqe_hype::{evaluate_batch, BatchQuery};
+/// use smoqe_xml::XmlTreeBuilder;
+/// use smoqe_xpath::parse_path;
+///
+/// let mut b = XmlTreeBuilder::new();
+/// let root = b.root("hospital");
+/// let patient = b.child(root, "patient");
+/// b.child_with_text(patient, "pname", "Alice");
+/// let doc = b.finish();
+///
+/// let patients = compile_query(&parse_path("patient").unwrap());
+/// let names = compile_query(&parse_path("patient/pname").unwrap());
+/// let batch = evaluate_batch(&doc, &[BatchQuery::new(&patients), BatchQuery::new(&names)]);
+///
+/// assert_eq!(batch.results.len(), 2);
+/// assert_eq!(batch.results[0].answers.len(), 1); // the <patient>
+/// assert_eq!(batch.results[1].answers.len(), 1); // its <pname>
+/// // The shared pass performs no more visits than N sequential runs would.
+/// assert!(batch.stats.nodes_visited <= batch.stats.sequential_node_visits);
+/// ```
 pub fn evaluate_batch(tree: &XmlTree, queries: &[BatchQuery]) -> BatchResult {
     evaluate_batch_at(tree, tree.root(), queries)
 }
@@ -126,7 +152,10 @@ pub fn evaluate_batch_at(tree: &XmlTree, context: NodeId, queries: &[BatchQuery]
 
     let mut engine = BatchEngine {
         tree,
-        runtimes: queries.iter().map(|q| QueryRuntime::new(tree, q)).collect(),
+        runtimes: queries
+            .iter()
+            .map(|q| QueryRuntime::new(tree.labels(), q))
+            .collect(),
         physical_visits: 0,
     };
     for rt in &mut engine.runtimes {
@@ -170,316 +199,6 @@ pub fn evaluate_batch_at(tree: &XmlTree, context: NodeId, queries: &[BatchQuery]
             nodes_visited: engine.physical_visits,
             sequential_node_visits,
         },
-    }
-}
-
-// ---------------------------------------------------------------------------
-// The candidate-answer DAG (one per query).
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct CansVertex {
-    node: NodeId,
-    is_final: bool,
-    /// `false` once the state's AFA evaluated to false at `node`.
-    valid: bool,
-    edges: Vec<u32>,
-}
-
-/// Phase 2 of HyPE: traverse `cans` from the initial vertices through valid
-/// vertices only, collecting the nodes attached to final states.
-fn collect_answers(cans: &[CansVertex], init_vertices: &[u32]) -> BTreeSet<NodeId> {
-    let mut answers = BTreeSet::new();
-    let mut seen = vec![false; cans.len()];
-    let mut stack: Vec<u32> = init_vertices
-        .iter()
-        .filter(|&&v| cans[v as usize].valid)
-        .copied()
-        .collect();
-    for &v in &stack {
-        seen[v as usize] = true;
-    }
-    while let Some(v) = stack.pop() {
-        let vertex = &cans[v as usize];
-        if vertex.is_final {
-            answers.insert(vertex.node);
-        }
-        for &next in &vertex.edges {
-            if !seen[next as usize] && cans[next as usize].valid {
-                seen[next as usize] = true;
-                stack.push(next);
-            }
-        }
-    }
-    answers
-}
-
-// ---------------------------------------------------------------------------
-// Per-query evaluation state.
-// ---------------------------------------------------------------------------
-
-type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
-
-/// Everything one query carries through the shared traversal: its automaton,
-/// label translation, optional index with lazily-built pruning tables, its
-/// own `cans` arena and statistics.
-struct QueryRuntime<'a> {
-    mfa: &'a Mfa,
-    label_map: LabelMap,
-    index: Option<&'a ReachabilityIndex>,
-    /// Per document label: for every NFA state, whether a final state is
-    /// reachable from it using only transitions whose labels may occur
-    /// below an element with that label (wildcards always may). Lazily
-    /// populated; used by the OptHyPE pruning rule.
-    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
-    /// Per document label, per AFA, per AFA state: whether the filter value
-    /// could possibly be true inside such a subtree (a final or a negation
-    /// is reachable through transitions allowed below the label).
-    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
-    cans: Vec<CansVertex>,
-    stats: HypeStats,
-}
-
-impl<'a> QueryRuntime<'a> {
-    fn new(tree: &XmlTree, query: &BatchQuery<'a>) -> Self {
-        QueryRuntime {
-            mfa: query.mfa,
-            label_map: LabelMap::new(query.mfa, tree.labels()),
-            index: query.index,
-            nfa_accept_below: HashMap::new(),
-            afa_true_below: HashMap::new(),
-            cans: Vec::new(),
-            stats: HypeStats::default(),
-        }
-    }
-
-    /// Closes a set of requested filter states under operator-state
-    /// successors (AND/OR/NOT ε-moves stay on the same node).
-    fn close_requests(
-        &self,
-        initial: BTreeSet<(AfaId, AfaStateId)>,
-    ) -> BTreeSet<(AfaId, AfaStateId)> {
-        let mut closure = initial.clone();
-        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
-        while let Some((afa, q)) = worklist.pop() {
-            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
-                AfaState::And(v) | AfaState::Or(v) => v.clone(),
-                AfaState::Not(x) => vec![*x],
-                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
-            };
-            for s in successors {
-                if closure.insert((afa, s)) {
-                    worklist.push((afa, s));
-                }
-            }
-        }
-        closure
-    }
-
-    // -----------------------------------------------------------------------
-    // OptHyPE pruning.
-    // -----------------------------------------------------------------------
-
-    /// `true` if this query can skip the subtree rooted at `child`: the DTD
-    /// guarantees that no selecting-NFA state pending there can reach a
-    /// final state, and every pending filter state is necessarily false.
-    fn can_skip_subtree(
-        &mut self,
-        tree: &XmlTree,
-        child: NodeId,
-        entry_states: &[StateId],
-        requests: &[(AfaId, AfaStateId)],
-    ) -> bool {
-        let Some(index) = self.index else {
-            return false;
-        };
-        let label = tree.label(child);
-        if index.allowed_below(label).is_none() {
-            return false; // label unknown to the DTD: no pruning information
-        }
-        if !self.nfa_accept_below.contains_key(&label) {
-            let table = self.compute_nfa_accept_below(label);
-            self.nfa_accept_below.insert(label, table);
-        }
-        let nfa_table = &self.nfa_accept_below[&label];
-        let closure = self.mfa.nfa().eps_closure(entry_states);
-        if closure.iter().any(|s| nfa_table[s.index()]) {
-            return false;
-        }
-        if requests.is_empty() {
-            return true;
-        }
-        if !self.afa_true_below.contains_key(&label) {
-            let table = self.compute_afa_true_below(label);
-            self.afa_true_below.insert(label, table);
-        }
-        let afa_table = &self.afa_true_below[&label];
-        requests
-            .iter()
-            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
-    }
-
-    /// Whether a label transition may fire inside a subtree whose root
-    /// carries `below_label`: wildcards always may, named labels only if the
-    /// DTD allows them below that element type.
-    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
-        match t {
-            Transition::Any => true,
-            Transition::Label(l) => {
-                let bit = l as usize;
-                allowed
-                    .get(bit / 64)
-                    .map(|w| w & (1 << (bit % 64)) != 0)
-                    .unwrap_or(false)
-            }
-        }
-    }
-
-    /// Per NFA state: can a final state be reached using only transitions
-    /// that may fire inside a subtree labelled `label`?
-    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
-        let index = self.index.expect("called only with an index");
-        let allowed = index
-            .allowed_below(label)
-            .expect("caller checked the label is known")
-            .to_vec();
-        let nfa = self.mfa.nfa();
-        let mut can = vec![false; nfa.len()];
-        for (id, state) in nfa.states() {
-            if state.is_final {
-                can[id.index()] = true;
-            }
-        }
-        loop {
-            let mut changed = false;
-            for (id, state) in nfa.states() {
-                if can[id.index()] {
-                    continue;
-                }
-                let reach = state.eps.iter().any(|e| can[e.index()])
-                    || state.trans.iter().any(|&(t, tgt)| {
-                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
-                    });
-                if reach {
-                    can[id.index()] = true;
-                    changed = true;
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        can
-    }
-
-    /// Per AFA state: could its value be true at some node inside a subtree
-    /// labelled `label`? Over-approximated: a reachable final state or any
-    /// reachable negation makes the answer "maybe".
-    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
-        let index = self.index.expect("called only with an index");
-        let allowed = index
-            .allowed_below(label)
-            .expect("caller checked the label is known")
-            .to_vec();
-        let mut out = Vec::with_capacity(self.mfa.afas().len());
-        for afa in self.mfa.afas() {
-            let mut maybe = vec![false; afa.len()];
-            for (id, state) in afa.states() {
-                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
-                    maybe[id.index()] = true;
-                }
-            }
-            loop {
-                let mut changed = false;
-                for (id, state) in afa.states() {
-                    if maybe[id.index()] {
-                        continue;
-                    }
-                    let reach = match state {
-                        AfaState::And(v) | AfaState::Or(v) => v.iter().any(|s| maybe[s.index()]),
-                        AfaState::Not(_) | AfaState::Final(_) => true,
-                        AfaState::Trans(t, tgt) => {
-                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
-                        }
-                    };
-                    if reach {
-                        maybe[id.index()] = true;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            out.push(maybe);
-        }
-        out
-    }
-
-    // -----------------------------------------------------------------------
-    // Bottom-up filter evaluation.
-    // -----------------------------------------------------------------------
-
-    /// Computes the Boolean variables `X(node, state)` for every filter
-    /// state in `closure`, using the children's already-computed values.
-    fn compute_values(
-        &mut self,
-        tree: &XmlTree,
-        node: NodeId,
-        closure: &BTreeSet<(AfaId, AfaStateId)>,
-        child_values: &[(NodeId, AfaValues)],
-    ) -> AfaValues {
-        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
-        for &(afa, q) in closure {
-            let mut in_progress = BTreeSet::new();
-            self.value_of(tree, node, afa, q, child_values, &mut memo, &mut in_progress);
-        }
-        memo
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn value_of(
-        &mut self,
-        tree: &XmlTree,
-        node: NodeId,
-        afa: AfaId,
-        q: AfaStateId,
-        child_values: &[(NodeId, AfaValues)],
-        memo: &mut AfaValues,
-        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
-    ) -> bool {
-        if let Some(&v) = memo.get(&(afa, q)) {
-            return v;
-        }
-        if !in_progress.insert((afa, q)) {
-            // ε-cycle among operator states (degenerate `(.)*` filters):
-            // the least fix-point is false.
-            return false;
-        }
-        self.stats.afa_values_computed += 1;
-        let value = match self.mfa.afa(afa).state(q).clone() {
-            AfaState::Final(pred) => match pred {
-                FinalPredicate::True => true,
-                FinalPredicate::False => false,
-                FinalPredicate::TextEq(ref value) => tree.text(node) == Some(value.as_str()),
-            },
-            AfaState::Not(x) => {
-                !self.value_of(tree, node, afa, x, child_values, memo, in_progress)
-            }
-            AfaState::And(children) => children.iter().all(|&c| {
-                self.value_of(tree, node, afa, c, child_values, memo, in_progress)
-            }),
-            AfaState::Or(children) => children.iter().any(|&c| {
-                self.value_of(tree, node, afa, c, child_values, memo, in_progress)
-            }),
-            AfaState::Trans(t, tgt) => child_values.iter().any(|(child, values)| {
-                self.label_map.matches(t, tree.label(*child))
-                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
-            }),
-        };
-        in_progress.remove(&(afa, q));
-        memo.insert((afa, q), value);
-        value
     }
 }
 
@@ -550,7 +269,7 @@ impl BatchEngine<'_> {
             let mut vertex_of: HashMap<StateId, u32> = HashMap::with_capacity(mstates.len());
             for &s in &mstates {
                 let idx = rt.cans.len() as u32;
-                rt.cans.push(CansVertex {
+                rt.cans.push(crate::runtime::CansVertex {
                     node,
                     is_final: nfa.state(s).is_final,
                     valid: true,
@@ -604,7 +323,7 @@ impl BatchEngine<'_> {
         // there; each query's participation is decided by its own pruning
         // rules, exactly as in a solo run.
         let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        let mut child_values: Vec<Vec<(NodeId, AfaValues)>> = vec![Vec::new(); locals.len()];
+        let mut child_values: Vec<Vec<(LabelId, AfaValues)>> = vec![Vec::new(); locals.len()];
         for child in children {
             let child_label = self.tree.label(child);
             let mut child_pending: Vec<Pending> = Vec::new();
@@ -633,7 +352,7 @@ impl BatchEngine<'_> {
                 if entry_c.is_empty() && requests_c.is_empty() {
                     continue; // basic pruning: nothing can happen below
                 }
-                if rt.can_skip_subtree(self.tree, child, &entry_c, &requests_c) {
+                if rt.can_skip_subtree(child_label, &entry_c, &requests_c) {
                     continue; // index pruning: all pending filter values are false
                 }
                 child_pending.push(Pending {
@@ -650,7 +369,7 @@ impl BatchEngine<'_> {
             let outcomes = self.visit(child, child_pending);
             for (slot, outcome) in slots.into_iter().zip(outcomes) {
                 debug_assert_eq!(locals[slot].query, outcome.query);
-                child_values[slot].push((child, outcome.values));
+                child_values[slot].push((child_label, outcome.values));
             }
         }
 
@@ -660,7 +379,7 @@ impl BatchEngine<'_> {
         for (slot, local) in locals.into_iter().enumerate() {
             let rt = &mut self.runtimes[local.query];
             let values =
-                rt.compute_values(self.tree, node, &local.closure, &child_values[slot]);
+                rt.compute_values(self.tree.text(node), &local.closure, &child_values[slot]);
             for &s in &local.mstates {
                 if let Some(afa) = rt.mfa.nfa().state(s).afa {
                     let holds = values

@@ -35,6 +35,15 @@
 //! query still receives exactly the answers and [`HypeStats`] a solo run
 //! would produce. The solo entry points are the 1-query special case of the
 //! batched engine.
+//!
+//! Finally, the [`stream`] module removes the remaining memory dependency
+//! on the document: [`StreamHype`] is a stack-machine port of the same pass
+//! driven by the `Open`/`Text`/`Close` events of `smoqe_xml::stream`,
+//! evaluating documents that are never materialized as trees — larger than
+//! RAM, network-fed, or filtered on the fly — in `O(depth · |M|)` working
+//! memory, with answers and statistics identical to the tree engine's. The
+//! per-node math all three entry points share lives in one internal
+//! `runtime` module, so the backends cannot drift apart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +51,10 @@
 pub mod batch;
 pub mod engine;
 pub mod index;
+mod runtime;
+pub mod stream;
 
 pub use batch::{evaluate_batch, evaluate_batch_at, BatchQuery, BatchResult, BatchStats};
 pub use engine::{evaluate, evaluate_at, evaluate_at_with, evaluate_with_index, HypeResult, HypeStats};
 pub use index::ReachabilityIndex;
+pub use stream::{evaluate_stream, evaluate_stream_batch, StreamHype, StreamResult, StreamStats};

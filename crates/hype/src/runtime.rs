@@ -1,0 +1,331 @@
+//! Per-query evaluation state shared by the tree-walking batch engine
+//! ([`crate::batch`]) and the event-driven streaming engine
+//! ([`crate::stream`]).
+//!
+//! Everything HyPE computes *at one node* — the `cans` vertices, the
+//! request closure, the OptHyPE pruning decision, the bottom-up Boolean
+//! values `X(node, state)` — depends only on the node's label, its text,
+//! and its children's labels and already-computed values. This module holds
+//! that per-node math in a tree-agnostic form (labels and text are passed
+//! in, never looked up), so the two traversal drivers cannot drift apart:
+//! a recursive DFS over an arena and a stack machine over `Open`/`Text`/
+//! `Close` events both call the exact same code and therefore produce
+//! identical answers *and* identical [`HypeStats`].
+
+use std::collections::{BTreeSet, HashMap};
+
+use smoqe_automata::{
+    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
+};
+use smoqe_xml::{LabelId, LabelInterner, NodeId};
+
+use crate::batch::BatchQuery;
+use crate::engine::HypeStats;
+use crate::index::ReachabilityIndex;
+
+/// Boolean filter variables `X(node, state)` computed at one node.
+pub(crate) type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
+
+/// One vertex of a query's candidate-answer DAG `cans`.
+#[derive(Debug)]
+pub(crate) struct CansVertex {
+    /// The document node the vertex stands for. In the streaming engine
+    /// this is the node's pre-order index (see `crate::stream`).
+    pub node: NodeId,
+    pub is_final: bool,
+    /// `false` once the state's AFA evaluated to false at `node`.
+    pub valid: bool,
+    pub edges: Vec<u32>,
+}
+
+/// Phase 2 of HyPE: traverse `cans` from the initial vertices through valid
+/// vertices only, collecting the nodes attached to final states.
+pub(crate) fn collect_answers(cans: &[CansVertex], init_vertices: &[u32]) -> BTreeSet<NodeId> {
+    let mut answers = BTreeSet::new();
+    let mut seen = vec![false; cans.len()];
+    let mut stack: Vec<u32> = init_vertices
+        .iter()
+        .filter(|&&v| cans[v as usize].valid)
+        .copied()
+        .collect();
+    for &v in &stack {
+        seen[v as usize] = true;
+    }
+    while let Some(v) = stack.pop() {
+        let vertex = &cans[v as usize];
+        if vertex.is_final {
+            answers.insert(vertex.node);
+        }
+        for &next in &vertex.edges {
+            if !seen[next as usize] && cans[next as usize].valid {
+                seen[next as usize] = true;
+                stack.push(next);
+            }
+        }
+    }
+    answers
+}
+
+/// Everything one query carries through a traversal: its automaton, label
+/// translation, optional index with lazily-built pruning tables, its own
+/// `cans` arena and statistics.
+pub(crate) struct QueryRuntime<'a> {
+    pub mfa: &'a Mfa,
+    pub label_map: LabelMap,
+    index: Option<&'a ReachabilityIndex>,
+    /// Per document label: for every NFA state, whether a final state is
+    /// reachable from it using only transitions whose labels may occur
+    /// below an element with that label (wildcards always may). Lazily
+    /// populated; used by the OptHyPE pruning rule.
+    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
+    /// Per document label, per AFA, per AFA state: whether the filter value
+    /// could possibly be true inside such a subtree (a final or a negation
+    /// is reachable through transitions allowed below the label).
+    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
+    pub cans: Vec<CansVertex>,
+    pub stats: HypeStats,
+}
+
+impl<'a> QueryRuntime<'a> {
+    pub fn new(doc_labels: &LabelInterner, query: &BatchQuery<'a>) -> Self {
+        QueryRuntime {
+            mfa: query.mfa,
+            label_map: LabelMap::new(query.mfa, doc_labels),
+            index: query.index,
+            nfa_accept_below: HashMap::new(),
+            afa_true_below: HashMap::new(),
+            cans: Vec::new(),
+            stats: HypeStats::default(),
+        }
+    }
+
+    /// Covers document labels interned after construction (the streaming
+    /// engine interns labels as they first appear on `Open` events).
+    pub fn extend_labels(&mut self, doc_labels: &LabelInterner) {
+        self.label_map.extend(self.mfa, doc_labels);
+    }
+
+    /// Closes a set of requested filter states under operator-state
+    /// successors (AND/OR/NOT ε-moves stay on the same node).
+    pub fn close_requests(
+        &self,
+        initial: BTreeSet<(AfaId, AfaStateId)>,
+    ) -> BTreeSet<(AfaId, AfaStateId)> {
+        let mut closure = initial.clone();
+        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
+        while let Some((afa, q)) = worklist.pop() {
+            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
+                AfaState::And(v) | AfaState::Or(v) => v.clone(),
+                AfaState::Not(x) => vec![*x],
+                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
+            };
+            for s in successors {
+                if closure.insert((afa, s)) {
+                    worklist.push((afa, s));
+                }
+            }
+        }
+        closure
+    }
+
+    // -----------------------------------------------------------------------
+    // OptHyPE pruning.
+    // -----------------------------------------------------------------------
+
+    /// `true` if this query can skip the subtree rooted at a child labelled
+    /// `child_label`: the DTD guarantees that no selecting-NFA state pending
+    /// there can reach a final state, and every pending filter state is
+    /// necessarily false.
+    pub fn can_skip_subtree(
+        &mut self,
+        child_label: LabelId,
+        entry_states: &[StateId],
+        requests: &[(AfaId, AfaStateId)],
+    ) -> bool {
+        let Some(index) = self.index else {
+            return false;
+        };
+        if index.allowed_below(child_label).is_none() {
+            return false; // label unknown to the DTD: no pruning information
+        }
+        if !self.nfa_accept_below.contains_key(&child_label) {
+            let table = self.compute_nfa_accept_below(child_label);
+            self.nfa_accept_below.insert(child_label, table);
+        }
+        let nfa_table = &self.nfa_accept_below[&child_label];
+        let closure = self.mfa.nfa().eps_closure(entry_states);
+        if closure.iter().any(|s| nfa_table[s.index()]) {
+            return false;
+        }
+        if requests.is_empty() {
+            return true;
+        }
+        if !self.afa_true_below.contains_key(&child_label) {
+            let table = self.compute_afa_true_below(child_label);
+            self.afa_true_below.insert(child_label, table);
+        }
+        let afa_table = &self.afa_true_below[&child_label];
+        requests
+            .iter()
+            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
+    }
+
+    /// Whether a label transition may fire inside a subtree whose root
+    /// carries `below_label`: wildcards always may, named labels only if the
+    /// DTD allows them below that element type.
+    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
+        match t {
+            Transition::Any => true,
+            Transition::Label(l) => {
+                let bit = l as usize;
+                allowed
+                    .get(bit / 64)
+                    .map(|w| w & (1 << (bit % 64)) != 0)
+                    .unwrap_or(false)
+            }
+        }
+    }
+
+    /// Per NFA state: can a final state be reached using only transitions
+    /// that may fire inside a subtree labelled `label`?
+    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let nfa = self.mfa.nfa();
+        let mut can = vec![false; nfa.len()];
+        for (id, state) in nfa.states() {
+            if state.is_final {
+                can[id.index()] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for (id, state) in nfa.states() {
+                if can[id.index()] {
+                    continue;
+                }
+                let reach = state.eps.iter().any(|e| can[e.index()])
+                    || state.trans.iter().any(|&(t, tgt)| {
+                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
+                    });
+                if reach {
+                    can[id.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        can
+    }
+
+    /// Per AFA state: could its value be true at some node inside a subtree
+    /// labelled `label`? Over-approximated: a reachable final state or any
+    /// reachable negation makes the answer "maybe".
+    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
+        let index = self.index.expect("called only with an index");
+        let allowed = index
+            .allowed_below(label)
+            .expect("caller checked the label is known")
+            .to_vec();
+        let mut out = Vec::with_capacity(self.mfa.afas().len());
+        for afa in self.mfa.afas() {
+            let mut maybe = vec![false; afa.len()];
+            for (id, state) in afa.states() {
+                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
+                    maybe[id.index()] = true;
+                }
+            }
+            loop {
+                let mut changed = false;
+                for (id, state) in afa.states() {
+                    if maybe[id.index()] {
+                        continue;
+                    }
+                    let reach = match state {
+                        AfaState::And(v) | AfaState::Or(v) => v.iter().any(|s| maybe[s.index()]),
+                        AfaState::Not(_) | AfaState::Final(_) => true,
+                        AfaState::Trans(t, tgt) => {
+                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
+                        }
+                    };
+                    if reach {
+                        maybe[id.index()] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            out.push(maybe);
+        }
+        out
+    }
+
+    // -----------------------------------------------------------------------
+    // Bottom-up filter evaluation.
+    // -----------------------------------------------------------------------
+
+    /// Computes the Boolean variables `X(node, state)` for every filter
+    /// state in `closure`, given the node's own text and the children's
+    /// already-computed values (keyed by each child's document label).
+    pub fn compute_values(
+        &mut self,
+        node_text: Option<&str>,
+        closure: &BTreeSet<(AfaId, AfaStateId)>,
+        child_values: &[(LabelId, AfaValues)],
+    ) -> AfaValues {
+        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
+        for &(afa, q) in closure {
+            let mut in_progress = BTreeSet::new();
+            self.value_of(node_text, afa, q, child_values, &mut memo, &mut in_progress);
+        }
+        memo
+    }
+
+    fn value_of(
+        &mut self,
+        node_text: Option<&str>,
+        afa: AfaId,
+        q: AfaStateId,
+        child_values: &[(LabelId, AfaValues)],
+        memo: &mut AfaValues,
+        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
+    ) -> bool {
+        if let Some(&v) = memo.get(&(afa, q)) {
+            return v;
+        }
+        if !in_progress.insert((afa, q)) {
+            // ε-cycle among operator states (degenerate `(.)*` filters):
+            // the least fix-point is false.
+            return false;
+        }
+        self.stats.afa_values_computed += 1;
+        let value = match self.mfa.afa(afa).state(q).clone() {
+            AfaState::Final(pred) => match pred {
+                FinalPredicate::True => true,
+                FinalPredicate::False => false,
+                FinalPredicate::TextEq(ref value) => node_text == Some(value.as_str()),
+            },
+            AfaState::Not(x) => !self.value_of(node_text, afa, x, child_values, memo, in_progress),
+            AfaState::And(children) => children
+                .iter()
+                .all(|&c| self.value_of(node_text, afa, c, child_values, memo, in_progress)),
+            AfaState::Or(children) => children
+                .iter()
+                .any(|&c| self.value_of(node_text, afa, c, child_values, memo, in_progress)),
+            AfaState::Trans(t, tgt) => child_values.iter().any(|(child_label, values)| {
+                self.label_map.matches(t, *child_label)
+                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
+            }),
+        };
+        in_progress.remove(&(afa, q));
+        memo.insert((afa, q), value);
+        value
+    }
+}

@@ -3,12 +3,13 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::io::Read;
 
 use smoqe_automata::Mfa;
-use smoqe_hype::{HypeResult, ReachabilityIndex};
+use smoqe_hype::{BatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamStats};
 use smoqe_rewrite::{rewrite_to_mfa, RewriteError};
 use smoqe_views::{hospital_view, ViewDefinition, ViewError};
-use smoqe_xml::{Dtd, NodeId, XmlTree};
+use smoqe_xml::{Dtd, NodeId, ParseError, XmlStreamReader, XmlTree};
 use smoqe_xpath::{parse_path, ParseQueryError, Path};
 
 /// Errors surfaced by the engine API.
@@ -20,6 +21,8 @@ pub enum EngineError {
     View(ViewError),
     /// The rewriting algorithm rejected the view.
     Rewrite(RewriteError),
+    /// A streamed document failed to parse (or its reader failed).
+    Xml(ParseError),
 }
 
 impl fmt::Display for EngineError {
@@ -28,6 +31,7 @@ impl fmt::Display for EngineError {
             EngineError::Query(e) => write!(f, "{e}"),
             EngineError::View(e) => write!(f, "{e}"),
             EngineError::Rewrite(e) => write!(f, "{e}"),
+            EngineError::Xml(e) => write!(f, "{e}"),
         }
     }
 }
@@ -47,6 +51,11 @@ impl From<ViewError> for EngineError {
 impl From<RewriteError> for EngineError {
     fn from(e: RewriteError) -> Self {
         EngineError::Rewrite(e)
+    }
+}
+impl From<ParseError> for EngineError {
+    fn from(e: ParseError) -> Self {
+        EngineError::Xml(e)
     }
 }
 
@@ -89,6 +98,19 @@ impl CompiledQuery {
     /// Evaluates at an arbitrary context node.
     pub fn evaluate_at(&self, doc: &XmlTree, context: NodeId) -> HypeResult {
         smoqe_hype::evaluate_at(doc, context, &self.mfa)
+    }
+
+    /// Evaluates the query over a **streamed** XML document read from
+    /// `input`, without ever materializing the tree (see
+    /// [`smoqe_hype::stream`]). Answers identify nodes by pre-order index,
+    /// which coincides with the [`NodeId`]s [`smoqe_xml::parse_document`]
+    /// would assign to the same input.
+    pub fn evaluate_stream(
+        &self,
+        input: impl Read,
+    ) -> Result<(HypeResult, StreamStats), EngineError> {
+        let mut reader = XmlStreamReader::new(input);
+        Ok(smoqe_hype::evaluate_stream(&mut reader, &self.mfa)?)
     }
 
     /// Builds the OptHyPE(-C) index for documents of `document_dtd` that use
@@ -185,6 +207,47 @@ impl SmoqeEngine {
     ) -> Result<HypeResult, EngineError> {
         let compiled = self.compile(query)?;
         Ok(compiled.evaluate_with_mode(doc, self.view.document_dtd(), mode))
+    }
+
+    /// Like [`Self::answer`], but over a **streamed** document read from
+    /// `input` — a file, socket, or stdin — which is never materialized as
+    /// a tree (constant memory in the document size; see
+    /// [`smoqe_hype::stream`]). Answer nodes are identified by pre-order
+    /// index, matching the ids [`smoqe_xml::parse_document`] assigns.
+    pub fn answer_stream(
+        &self,
+        query: &str,
+        input: impl Read,
+    ) -> Result<BTreeSet<NodeId>, EngineError> {
+        Ok(self.compile(query)?.evaluate_stream(input)?.0.answers)
+    }
+
+    /// Like [`Self::answer_stream`] but also returns HyPE's execution
+    /// statistics and the stream-level counters (events consumed, peak
+    /// frame depth).
+    pub fn answer_stream_with_stats(
+        &self,
+        query: &str,
+        input: impl Read,
+    ) -> Result<(HypeResult, StreamStats), EngineError> {
+        self.compile(query)?.evaluate_stream(input)
+    }
+
+    /// Answers several view queries over one streamed document in a single
+    /// pass ([`smoqe_hype::evaluate_stream_batch`]). Results are
+    /// index-aligned with `queries`.
+    pub fn answer_stream_batch(
+        &self,
+        queries: &[&str],
+        input: impl Read,
+    ) -> Result<smoqe_hype::StreamResult, EngineError> {
+        let compiled: Vec<CompiledQuery> = queries
+            .iter()
+            .map(|q| self.compile(q))
+            .collect::<Result<_, _>>()?;
+        let batch: Vec<BatchQuery> = compiled.iter().map(|c| BatchQuery::new(c.mfa())).collect();
+        let mut reader = XmlStreamReader::new(input);
+        Ok(StreamHype::new(&batch).run(&mut reader)?)
     }
 }
 
@@ -296,6 +359,50 @@ mod tests {
         let dtd = hospital_document_dtd();
         let opt = compiled.evaluate_with_mode(&doc, &dtd, EvaluationMode::OptHyPE);
         assert_eq!(opt.answers, expected);
+    }
+
+    #[test]
+    fn answer_stream_matches_answer_on_the_parsed_document() {
+        let doc = small_doc();
+        let xml = smoqe_xml::to_xml_string(&doc);
+        // Parsing assigns pre-order ids, the same identity a stream uses.
+        let reparsed = smoqe_xml::parse_document(&xml).unwrap();
+        let engine = SmoqeEngine::hospital_demo();
+        for query in [
+            "patient",
+            "patient/record/diagnosis",
+            "patient[*//record/diagnosis/text()='heart disease']",
+            "patient[not(parent)]",
+        ] {
+            let on_tree = engine.answer(query, &reparsed).unwrap();
+            let streamed = engine.answer_stream(query, xml.as_bytes()).unwrap();
+            assert_eq!(streamed, on_tree, "stream differs on `{query}`");
+        }
+    }
+
+    #[test]
+    fn answer_stream_batch_aligns_with_solo_streams() {
+        let doc = small_doc();
+        let xml = smoqe_xml::to_xml_string(&doc);
+        let engine = SmoqeEngine::hospital_demo();
+        let queries = ["patient", "patient/record/diagnosis", "(patient/parent)*/patient[record]"];
+        let batch = engine.answer_stream_batch(&queries, xml.as_bytes()).unwrap();
+        assert_eq!(batch.results.len(), queries.len());
+        for (i, query) in queries.iter().enumerate() {
+            let (solo, _) = engine.answer_stream_with_stats(query, xml.as_bytes()).unwrap();
+            assert_eq!(batch.results[i].answers, solo.answers, "on `{query}`");
+            assert_eq!(batch.results[i].stats, solo.stats, "on `{query}`");
+        }
+        assert!(batch.stats.nodes_visited <= batch.stats.sequential_node_visits);
+    }
+
+    #[test]
+    fn stream_parse_errors_surface_as_xml_errors() {
+        let engine = SmoqeEngine::hospital_demo();
+        assert!(matches!(
+            engine.answer_stream("patient", "<a><b></a></b>".as_bytes()),
+            Err(EngineError::Xml(_))
+        ));
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! reachability-index cache, and batched evaluation that answers N queries
 //! in a single HyPE pass ([`smoqe_hype::evaluate_batch`]).
 //!
+//! Documents need not fit in memory at all: `answer_stream` on both
+//! [`SmoqeEngine`] and [`QueryService`] evaluates queries over a **streamed**
+//! document read from any `std::io::Read` — the single-pass promise of the
+//! paper taken literally, in `O(depth)` working memory, via
+//! [`smoqe_hype::stream`] and [`smoqe_xml::stream`].
+//!
 //! ## Quick start
 //!
 //! ```

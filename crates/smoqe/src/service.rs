@@ -20,12 +20,15 @@
 //! All methods take `&self` and the caches are interior-mutable behind
 //! mutexes, so one service can be shared across threads.
 
+use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use smoqe_hype::{BatchQuery, BatchResult, HypeResult, ReachabilityIndex};
+use smoqe_hype::{
+    BatchQuery, BatchResult, HypeResult, ReachabilityIndex, StreamHype, StreamResult, StreamStats,
+};
 use smoqe_views::ViewDefinition;
-use smoqe_xml::{LabelInterner, XmlTree};
+use smoqe_xml::{LabelInterner, XmlStreamReader, XmlTree};
 use smoqe_xpath::{normalize, parse_path, Path};
 
 use crate::engine::{CompiledQuery, EngineError, EvaluationMode, SmoqeEngine};
@@ -86,6 +89,28 @@ struct IndexKey {
 }
 
 /// A multi-query, multi-document serving front-end over one view.
+///
+/// Repeated queries — including equivalent spellings — are compiled once
+/// and then served from the LRU cache:
+///
+/// ```
+/// use smoqe::{EvaluationMode, QueryService};
+/// use smoqe_toxgene::{generate_hospital, HospitalConfig};
+///
+/// let service = QueryService::hospital_demo();
+/// let doc = generate_hospital(&HospitalConfig { patients: 10, ..Default::default() });
+///
+/// // The first call rewrites + compiles (a miss); the second hits the
+/// // cache, and so does the third — `./patient/./record` normalizes to
+/// // the same key as `patient/record`.
+/// service.evaluate("patient/record", &doc, EvaluationMode::HyPE).unwrap();
+/// service.evaluate("patient/record", &doc, EvaluationMode::HyPE).unwrap();
+/// service.evaluate("./patient/./record", &doc, EvaluationMode::HyPE).unwrap();
+///
+/// let stats = service.stats();
+/// assert_eq!(stats.compiled_misses, 1);
+/// assert_eq!(stats.compiled_hits, 2);
+/// ```
 #[derive(Debug)]
 pub struct QueryService {
     engine: SmoqeEngine,
@@ -324,6 +349,59 @@ impl QueryService {
         })
     }
 
+    /// Answers `query` over a **streamed** document read from `input`,
+    /// using the compiled-query cache but never materializing the document
+    /// as a tree (see [`smoqe_hype::stream`]). Streaming always runs plain
+    /// HyPE: the OptHyPE indexes in the cache are keyed to a concrete
+    /// document label interner, which a raw stream does not have.
+    pub fn answer_stream(
+        &self,
+        query: &str,
+        input: impl Read,
+    ) -> Result<(HypeResult, StreamStats), EngineError> {
+        let compiled = self.compile(query)?;
+        compiled.evaluate_stream(input)
+    }
+
+    /// Answers all of `queries` over one streamed document in a **single
+    /// pass**, combining the compiled-query cache with
+    /// [`smoqe_hype::evaluate_stream_batch`]. Results are index-aligned
+    /// with `queries`; equivalent spellings are deduplicated before
+    /// evaluation exactly as in [`Self::evaluate_batch`].
+    pub fn evaluate_stream_batch(
+        &self,
+        queries: &[&str],
+        input: impl Read,
+    ) -> Result<StreamResult, EngineError> {
+        let compiled: Vec<Arc<CompiledQuery>> = queries
+            .iter()
+            .map(|q| self.compile(q))
+            .collect::<Result<_, _>>()?;
+        let mut unique: Vec<Arc<CompiledQuery>> = Vec::with_capacity(compiled.len());
+        let mut slot_of: Vec<usize> = Vec::with_capacity(compiled.len());
+        for c in &compiled {
+            let slot = unique
+                .iter()
+                .position(|u| Arc::ptr_eq(u, c))
+                .unwrap_or_else(|| {
+                    unique.push(Arc::clone(c));
+                    unique.len() - 1
+                });
+            slot_of.push(slot);
+        }
+        let batch: Vec<BatchQuery> = unique.iter().map(|c| BatchQuery::new(c.mfa())).collect();
+        let mut reader = XmlStreamReader::new(input);
+        let result = StreamHype::new(&batch).run(&mut reader)?;
+        let results = slot_of
+            .into_iter()
+            .map(|slot| result.results[slot].clone())
+            .collect();
+        Ok(StreamResult {
+            results,
+            stats: result.stats,
+        })
+    }
+
     /// Snapshot of the cache counters.
     pub fn stats(&self) -> ServiceStats {
         let compiled = self.lock_compiled();
@@ -540,6 +618,37 @@ mod tests {
         let r = service.evaluate("patient", &d, EvaluationMode::OptHyPE).unwrap();
         assert!(r.stats.nodes_total > 0, "evaluation ran despite zero-capacity config");
         assert_eq!(service.stats().compiled_cached, 1);
+    }
+
+    #[test]
+    fn stream_answers_match_tree_answers_and_hit_the_cache() {
+        let service = QueryService::hospital_demo();
+        let d = doc(4);
+        let xml = smoqe_xml::to_xml_string(&d);
+        let reparsed = smoqe_xml::parse_document(&xml).unwrap();
+        let on_tree = service.evaluate("patient/record", &reparsed, EvaluationMode::HyPE).unwrap();
+        let (streamed, stream_stats) = service.answer_stream("patient/record", xml.as_bytes()).unwrap();
+        assert_eq!(streamed.answers, on_tree.answers);
+        assert_eq!(streamed.stats, on_tree.stats);
+        assert!(stream_stats.peak_frames <= stream_stats.peak_depth);
+        // Both calls share one compilation.
+        assert_eq!(service.stats().compiled_misses, 1);
+        assert_eq!(service.stats().compiled_hits, 1);
+    }
+
+    #[test]
+    fn stream_batch_dedupes_equivalent_spellings() {
+        let service = QueryService::hospital_demo();
+        let d = doc(4);
+        let xml = smoqe_xml::to_xml_string(&d);
+        let queries = ["patient/record", "./patient/./record", "patient"];
+        let batch = service.evaluate_stream_batch(&queries, xml.as_bytes()).unwrap();
+        assert_eq!(batch.results.len(), 3);
+        assert_eq!(batch.stats.queries, 2, "two distinct compilations after dedup");
+        assert_eq!(batch.results[0].answers, batch.results[1].answers);
+        assert_eq!(batch.results[0].stats, batch.results[1].stats);
+        let (solo, _) = service.answer_stream("patient/record", xml.as_bytes()).unwrap();
+        assert_eq!(batch.results[1].answers, solo.answers);
     }
 
     #[test]

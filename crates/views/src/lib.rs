@@ -14,7 +14,7 @@
 //!
 //! * [`ViewDefinition`] — the annotated view DTD, with well-formedness
 //!   checks and the `|σ|` size measure used in the paper's bounds;
-//! * [`materialize`] — the reference view-materialization procedure used as
+//! * [`materialize()`] — the reference view-materialization procedure used as
 //!   correctness oracle: `Q(σ(T))` computed the slow way, against which the
 //!   rewriting pipeline's `Q'(T)` is compared;
 //! * [`hospital_view`] — the running example σ₀ of Fig. 1(c), exposing only

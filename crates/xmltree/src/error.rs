@@ -69,6 +69,9 @@ pub enum ParseError {
     EmptyDocument,
     /// Content was found after the root element closed.
     TrailingContent(usize),
+    /// The underlying reader failed while streaming (message of the
+    /// `std::io::Error`; stored as text so the error stays `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for ParseError {
@@ -90,6 +93,7 @@ impl fmt::Display for ParseError {
             ParseError::TrailingContent(offset) => {
                 write!(f, "unexpected content after the root element at offset {offset}")
             }
+            ParseError::Io(message) => write!(f, "read error while streaming: {message}"),
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod hospital;
 pub mod label;
 pub mod parse;
 pub mod serialize;
+pub mod stream;
 pub mod tree;
 
 pub use dtd::{Child, ContentModel, Dtd, DtdGraph};
@@ -38,4 +39,5 @@ pub use error::{ParseError, XmlError};
 pub use label::{LabelId, LabelInterner};
 pub use parse::parse_document;
 pub use serialize::{to_xml_string, to_xml_string_pretty};
-pub use tree::{NodeId, XmlTree, XmlTreeBuilder};
+pub use stream::{EventSource, TreeEvents, XmlEvent, XmlStreamReader};
+pub use tree::{node_allocations, NodeId, XmlTree, XmlTreeBuilder};

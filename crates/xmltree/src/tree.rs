@@ -5,8 +5,36 @@
 //! cloning of node handles, and lets the evaluation algorithms of the paper
 //! (HyPE and the baselines) use plain integer-indexed side tables.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::error::XmlError;
 use crate::label::{LabelId, LabelInterner};
+
+/// Process-wide count of arena nodes ever allocated by [`XmlTreeBuilder`]s
+/// (and therefore by [`crate::parse_document`], which builds through one).
+static NODE_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Total number of arena nodes allocated in this process so far.
+///
+/// The counter only ever grows; take a snapshot before a region of interest
+/// and diff afterwards. The streaming benchmark and tests use this to
+/// *prove* that evaluating over [`crate::stream`] events never materializes
+/// an arena tree:
+///
+/// ```
+/// use smoqe_xml::{node_allocations, parse_document};
+///
+/// let before = node_allocations();
+/// let tree = parse_document("<r><a/></r>").unwrap();
+/// assert_eq!(node_allocations() - before, tree.len() as u64);
+///
+/// let before = node_allocations();
+/// // ... anything that only streams events allocates no nodes ...
+/// assert_eq!(node_allocations() - before, 0);
+/// ```
+pub fn node_allocations() -> u64 {
+    NODE_ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 /// Identifier of a node inside one [`XmlTree`] arena.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -262,6 +290,7 @@ impl XmlTreeBuilder {
     /// Creates the root element. Must be called exactly once, first.
     pub fn root(&mut self, label: &str) -> NodeId {
         assert!(self.root.is_none(), "root() called twice");
+        NODE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         let label = self.labels.intern(label);
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
@@ -282,6 +311,7 @@ impl XmlTreeBuilder {
 
     /// Appends a child element with an already-interned label.
     pub fn child_interned(&mut self, parent: NodeId, label: LabelId) -> NodeId {
+        NODE_ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node {
             label,

@@ -1,0 +1,84 @@
+//! Streaming evaluation: filter a >10,000-patient hospital document through
+//! the σ₀ security view **without ever materializing the document tree**.
+//!
+//! The document arrives as raw XML bytes from a `Read` source — here an
+//! in-memory cursor standing in for stdin, a file, or a socket — and the
+//! rewritten query is answered in one incremental pass. The point of the
+//! demo is the memory profile: however large the document grows, the
+//! evaluator's working set stays at a handful of frames (one per open
+//! element on the current path), which this example prints next to the
+//! document size.
+//!
+//! Run with: `cargo run --example streaming`
+
+use std::io::Cursor;
+
+use smoqe::SmoqeEngine;
+use smoqe_examples::{human_bytes, section, timed};
+use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_xml::{node_allocations, to_xml_string};
+
+/// The research institute's query on the σ₀ view: heart-disease patients
+/// one of whose ancestors also had heart disease.
+const QUERY: &str = "patient[*//record/diagnosis/text()='heart disease']";
+
+fn main() {
+    let engine = SmoqeEngine::hospital_demo();
+    let compiled = engine.compile(QUERY).expect("the view query rewrites");
+
+    section("Streaming the σ₀ security view");
+    println!("view query: {QUERY}");
+    println!("(rewritten once; each document below is then answered in one streamed pass)");
+    println!();
+    println!(
+        "{:>10}  {:>10}  {:>9}  {:>10}  {:>11}  {:>12}  {:>8}",
+        "patients", "XML size", "elements", "max depth", "peak frames", "tree nodes", "answers"
+    );
+
+    for patients in [500usize, 2_500, 10_500] {
+        // Generate and serialize the confidential hospital document; from
+        // here on, only the XML text is used — exactly what a network feed
+        // or an on-disk file would provide.
+        let doc = generate_hospital(&HospitalConfig {
+            patients,
+            departments: 6,
+            heart_disease_fraction: 0.3,
+            max_ancestor_depth: 2,
+            sibling_probability: 0.3,
+            visits_per_patient: 2,
+            test_visit_fraction: 0.3,
+            seed: 2007,
+        });
+        let xml = to_xml_string(&doc);
+        drop(doc);
+
+        let allocated_before = node_allocations();
+        let input = Cursor::new(xml.as_bytes()); // stdin-style byte source
+        let ((result, stats), ms) = timed(|| {
+            compiled
+                .evaluate_stream(input)
+                .expect("the stream evaluates")
+        });
+        let tree_nodes_built = node_allocations() - allocated_before;
+        assert_eq!(tree_nodes_built, 0, "streaming must not build a tree");
+        assert!(stats.peak_frames <= stats.peak_depth);
+
+        println!(
+            "{:>10}  {:>10}  {:>9}  {:>10}  {:>11}  {:>12}  {:>8}   ({:.0} ms, {:.2} M events/s)",
+            patients,
+            human_bytes(xml.len()),
+            stats.nodes_total,
+            stats.peak_depth,
+            stats.peak_frames,
+            tree_nodes_built,
+            result.answers.len(),
+            ms,
+            stats.events as f64 / (ms / 1e3) / 1e6,
+        );
+    }
+
+    println!();
+    println!("The document grows ~20x; the evaluator's working set (peak frames) does not");
+    println!("grow at all, and the \"tree nodes\" column proves no arena was ever built:");
+    println!("the single-pass claim of the paper (§6), taken literally.");
+}

@@ -2,7 +2,7 @@
 //! the workspace's property-based tests. The build environment has no
 //! registry access, so the real crate cannot be fetched.
 //!
-//! Supported surface: the [`Strategy`] trait with `prop_map`,
+//! Supported surface: the [`strategy::Strategy`] trait with `prop_map`,
 //! `prop_recursive` and `boxed`; strategies for integer ranges, tuples,
 //! [`strategy::Just`], `prop::sample::select` and weighted [`prop_oneof!`];
 //! and the [`proptest!`], [`prop_assert!`] / [`prop_assert_eq!`] macros.
@@ -170,7 +170,7 @@ pub mod strategy {
         }
     }
 
-    /// Weighted choice between strategies ([`prop_oneof!`]).
+    /// Weighted choice between strategies (`prop_oneof!`).
     pub struct OneOf<T> {
         options: Vec<(u32, BoxedStrategy<T>)>,
         total: u32,
