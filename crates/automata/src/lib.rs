@@ -24,13 +24,20 @@
 //! * the `Xreg` → MFA compiler ([`compile_query`], Theorem 4.1),
 //! * a specification-level MFA evaluator ([`naive::evaluate_mfa`]) that
 //!   mirrors the paper's "conceptual evaluation" (Fig. 4) and serves as the
-//!   correctness oracle for the efficient HyPE algorithm in `smoqe-hype`.
+//!   correctness oracle for the efficient HyPE algorithm in `smoqe-hype`,
+//! * the dense, bitset-based **execution IR** ([`CompiledMfa`], module
+//!   [`compiled`]): the builder [`Mfa`] above is the *construction*
+//!   representation that the compiler and the view rewriter grow state by
+//!   state; [`CompiledMfa::new`] flattens it once — global AFA-state
+//!   numbering, per-label transition columns, precomputed ε-/operator
+//!   closures — into the form every `smoqe-hype` engine actually runs on.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod afa;
 pub mod compile;
+pub mod compiled;
 pub mod label_map;
 pub mod mfa;
 pub mod naive;
@@ -39,6 +46,7 @@ pub mod optimize;
 
 pub use afa::{Afa, AfaId, AfaState, AfaStateId, FinalPredicate};
 pub use compile::{compile_filter, compile_path_afa, compile_path_into, compile_pred_states, compile_query};
+pub use compiled::{ColumnMap, CompiledAfaState, CompiledMfa, CompiledMfaStats, ANY_LABEL};
 pub use label_map::LabelMap;
 pub use mfa::{AfaBuilder, Mfa, MfaBuilder, MfaStats};
 pub use naive::{evaluate_mfa, evaluate_mfa_at};

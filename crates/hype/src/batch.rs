@@ -1,14 +1,14 @@
-//! Batched multi-query HyPE evaluation.
+//! Batched multi-query HyPE evaluation on the compiled execution IR.
 //!
 //! A production SMOQE deployment does not run one query per document
 //! traversal: many concurrent callers pose (often different) queries against
 //! the same document. This module drives **N compiled MFAs through a single
 //! depth-first pass**: the pending selecting-NFA states and filter-state
-//! requests are kept per query — conceptually one merged set keyed by
-//! `(query, state)` — and a subtree is descended into as soon as *any* of
-//! the batched queries still has work there. Pruning therefore only skips a
-//! subtree when **every** query agrees it is dead (its basic prune and, when
-//! an index is supplied, its OptHyPE prune both fire).
+//! requests are kept per query — as `u64`-word bitsets over the
+//! [`CompiledMfa`] execution IR — and a subtree is descended into as soon as
+//! *any* of the batched queries still has work there. Pruning therefore only
+//! skips a subtree when **every** query agrees it is dead (its basic prune
+//! and, when an index is supplied, its OptHyPE prune both fire).
 //!
 //! Every per-query artefact — the candidate-answer DAG `cans`, the
 //! [`HypeStats`](crate::HypeStats), the answer set — is built exactly as the solo evaluator
@@ -16,27 +16,34 @@
 //! only on that query's own state at the node, so its recursion tree, vertex
 //! numbering and statistics are *identical* to a stand-alone run. The solo
 //! entry points in [`crate::engine`] are in fact implemented as the 1-query
-//! special case of this engine, and the batched-vs-sequential integration
-//! suite checks the equivalence query-by-query over the whole corpus.
+//! special case of this engine, the batched-vs-sequential integration
+//! suite checks the equivalence query-by-query over the whole corpus, and
+//! the `compiled_differential` suite pins answers and statistics to the
+//! interpreted reference engines in [`crate::interpreted`].
 //!
 //! What batching buys is the traversal itself: a node shared by the pending
 //! sets of k queries is visited once instead of k times, so the *physical*
 //! visit count is the size of the union of the per-query visit sets
 //! ([`BatchStats::nodes_visited`]) rather than their sum
 //! ([`BatchStats::sequential_node_visits`]).
+//!
+//! Callers that evaluate the same query repeatedly should compile once —
+//! [`CompiledMfa::new`], usually via the `smoqe` service layer's cache —
+//! and use [`evaluate_batch_compiled`]; the [`evaluate_batch`] convenience
+//! recompiles the IR on every call.
 
-use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
-use smoqe_automata::{AfaId, AfaState, AfaStateId, Mfa, StateId};
-use smoqe_xml::{LabelId, NodeId, XmlTree};
+use smoqe_automata::{CompiledMfa, Mfa};
+use smoqe_xml::{NodeId, XmlTree};
 
 use crate::engine::HypeResult;
 use crate::index::ReachabilityIndex;
-use crate::runtime::{collect_answers, AfaValues, QueryRuntime};
+use crate::runtime::{HypeCore, QueryRuntime};
 
-/// One query of a batch: a compiled MFA plus, optionally, its OptHyPE(-C)
-/// reachability index.
+/// One query of a batch: a builder-representation MFA plus, optionally, its
+/// OptHyPE(-C) reachability index. The execution IR is compiled on entry;
+/// see [`CompiledBatchQuery`] for the compile-once form.
 #[derive(Debug, Clone, Copy)]
 pub struct BatchQuery<'a> {
     /// The compiled automaton.
@@ -56,6 +63,47 @@ impl<'a> BatchQuery<'a> {
     pub fn with_index(mfa: &'a Mfa, index: &'a ReachabilityIndex) -> Self {
         BatchQuery {
             mfa,
+            index: Some(index),
+        }
+    }
+
+    /// Compiles the execution IR for this batch member.
+    pub fn compile(&self) -> CompiledBatchQuery<'a> {
+        CompiledBatchQuery {
+            compiled: Arc::new(CompiledMfa::new(self.mfa)),
+            index: self.index,
+        }
+    }
+}
+
+/// One query of a batch in compile-once form: a shared [`CompiledMfa`]
+/// execution IR plus, optionally, its OptHyPE(-C) reachability index.
+///
+/// The IR is document-independent, so one `Arc<CompiledMfa>` serves any
+/// number of evaluations over any documents (the `smoqe::QueryService`
+/// caches it next to the rewritten query, keyed by the view and query
+/// fingerprints).
+#[derive(Debug, Clone)]
+pub struct CompiledBatchQuery<'a> {
+    /// The execution IR.
+    pub compiled: Arc<CompiledMfa>,
+    /// The DTD reachability index, when OptHyPE pruning is wanted.
+    pub index: Option<&'a ReachabilityIndex>,
+}
+
+impl<'a> CompiledBatchQuery<'a> {
+    /// A batch member evaluated with plain HyPE.
+    pub fn new(compiled: Arc<CompiledMfa>) -> Self {
+        CompiledBatchQuery {
+            compiled,
+            index: None,
+        }
+    }
+
+    /// A batch member evaluated with OptHyPE(-C) pruning.
+    pub fn with_index(compiled: Arc<CompiledMfa>, index: &'a ReachabilityIndex) -> Self {
+        CompiledBatchQuery {
+            compiled,
             index: Some(index),
         }
     }
@@ -135,8 +183,26 @@ pub fn evaluate_batch(tree: &XmlTree, queries: &[BatchQuery]) -> BatchResult {
     evaluate_batch_at(tree, tree.root(), queries)
 }
 
-/// Evaluates every query of `queries` at `context` in one pass.
+/// Evaluates every query of `queries` at `context` in one pass, compiling
+/// each builder MFA to its execution IR first. Repeated callers should
+/// compile once and use [`evaluate_batch_compiled_at`].
 pub fn evaluate_batch_at(tree: &XmlTree, context: NodeId, queries: &[BatchQuery]) -> BatchResult {
+    let compiled: Vec<CompiledBatchQuery> = queries.iter().map(BatchQuery::compile).collect();
+    evaluate_batch_compiled_at(tree, context, &compiled)
+}
+
+/// Evaluates every pre-compiled query at the root of `tree` in one pass.
+pub fn evaluate_batch_compiled(tree: &XmlTree, queries: &[CompiledBatchQuery]) -> BatchResult {
+    evaluate_batch_compiled_at(tree, tree.root(), queries)
+}
+
+/// Evaluates every pre-compiled query at `context` in one pass — the hot
+/// entry point all front-ends reduce to.
+pub fn evaluate_batch_compiled_at(
+    tree: &XmlTree,
+    context: NodeId,
+    queries: &[CompiledBatchQuery],
+) -> BatchResult {
     let nodes_total = tree.subtree_size(context);
     if queries.is_empty() {
         return BatchResult {
@@ -150,260 +216,36 @@ pub fn evaluate_batch_at(tree: &XmlTree, context: NodeId, queries: &[BatchQuery]
         };
     }
 
-    let mut engine = BatchEngine {
-        tree,
-        runtimes: queries
-            .iter()
-            .map(|q| QueryRuntime::new(tree.labels(), q))
-            .collect(),
-        physical_visits: 0,
-    };
-    for rt in &mut engine.runtimes {
-        rt.stats.nodes_total = nodes_total;
-    }
-
-    // Every query starts at the context node with its NFA start state and no
-    // pending filter requests — exactly the solo evaluator's initial call.
-    let pending = queries
+    let runtimes = queries
         .iter()
-        .enumerate()
-        .map(|(query, q)| Pending {
-            query,
-            entry_states: vec![q.mfa.nfa().start()],
-            requests: Vec::new(),
-            parent_vertices: Rc::new(Vec::new()),
-        })
+        .map(|q| QueryRuntime::new(tree.labels(), Arc::clone(&q.compiled), q.index))
         .collect();
-    let outcomes = engine.visit(context, pending);
-
-    let mut init_of: Vec<Vec<u32>> = vec![Vec::new(); queries.len()];
-    for outcome in outcomes {
-        init_of[outcome.query] = outcome.init;
-    }
-
-    let mut results = Vec::with_capacity(queries.len());
-    let mut sequential_node_visits = 0;
-    for (query, rt) in engine.runtimes.into_iter().enumerate() {
-        let answers = collect_answers(&rt.cans, &init_of[query]);
-        let mut stats = rt.stats;
-        stats.cans_vertices = rt.cans.len();
-        stats.cans_edges = rt.cans.iter().map(|v| v.edges.len()).sum();
-        sequential_node_visits += stats.nodes_visited;
-        results.push(HypeResult { answers, stats });
-    }
+    let mut core = HypeCore::new(runtimes);
+    walk(&mut core, tree, context);
+    let (results, nodes_visited, sequential_node_visits) = core.into_results(nodes_total);
     BatchResult {
         results,
         stats: BatchStats {
             queries: queries.len(),
             nodes_total,
-            nodes_visited: engine.physical_visits,
+            nodes_visited,
             sequential_node_visits,
         },
     }
 }
 
-// ---------------------------------------------------------------------------
-// The shared traversal.
-// ---------------------------------------------------------------------------
-
-/// One query's pending work at a node about to be visited.
-struct Pending {
-    query: usize,
-    entry_states: Vec<StateId>,
-    requests: Vec<(AfaId, AfaStateId)>,
-    /// The `(state, cans vertex)` pairs of the query at the parent node,
-    /// used to wire parent→child edges into the query's `cans` DAG.
-    /// Reference-counted so the one list a node builds is shared by all of
-    /// its descended children instead of being cloned per child.
-    parent_vertices: Rc<Vec<(StateId, u32)>>,
-}
-
-/// What a visit hands back up, per participating query.
-struct Outcome {
-    query: usize,
-    /// Filter values computed at this node (for the parent's bottom-up pass).
-    values: AfaValues,
-    /// Vertex ids of the query's entry states at this node — the `Init` set
-    /// when this node is the evaluation context.
-    init: Vec<u32>,
-}
-
-/// Per-query state local to one node visit.
-struct Local {
-    query: usize,
-    entry_states: Vec<StateId>,
-    mstates: Vec<StateId>,
-    vertex_of: HashMap<StateId, u32>,
-    closure: BTreeSet<(AfaId, AfaStateId)>,
-    my_vertices: Rc<Vec<(StateId, u32)>>,
-}
-
-struct BatchEngine<'a> {
-    tree: &'a XmlTree,
-    runtimes: Vec<QueryRuntime<'a>>,
-    /// Nodes visited by the shared traversal (each counted once however many
-    /// queries are pending there).
-    physical_visits: usize,
-}
-
-impl BatchEngine<'_> {
-    /// Visits `node` for every query in `pending`: builds each query's
-    /// `cans` vertices, decides per child which queries still have work
-    /// there, descends once per live child, and evaluates the pending filter
-    /// states bottom-up. Returns one [`Outcome`] per element of `pending`,
-    /// in order.
-    fn visit(&mut self, node: NodeId, pending: Vec<Pending>) -> Vec<Outcome> {
-        self.physical_visits += 1;
-        let node_label = self.tree.label(node);
-
-        // Per-query front half: vertices, ε edges, parent edges, request
-        // closure — identical to the solo evaluator's bookkeeping.
-        let mut locals: Vec<Local> = Vec::with_capacity(pending.len());
-        for p in pending {
-            let rt = &mut self.runtimes[p.query];
-            rt.stats.nodes_visited += 1;
-            let nfa = rt.mfa.nfa();
-            let mstates = nfa.eps_closure(&p.entry_states);
-
-            // Vertices for every state assumed at this node.
-            let mut vertex_of: HashMap<StateId, u32> = HashMap::with_capacity(mstates.len());
-            for &s in &mstates {
-                let idx = rt.cans.len() as u32;
-                rt.cans.push(crate::runtime::CansVertex {
-                    node,
-                    is_final: nfa.state(s).is_final,
-                    valid: true,
-                    edges: Vec::new(),
-                });
-                vertex_of.insert(s, idx);
-            }
-            // Within-node ε edges.
-            for &s in &mstates {
-                let from = vertex_of[&s];
-                for &t in &nfa.state(s).eps {
-                    if let Some(&to) = vertex_of.get(&t) {
-                        rt.cans[from as usize].edges.push(to);
-                    }
-                }
-            }
-            // Edges from the parent's vertices into this node's entry states.
-            for &(sp, vp) in p.parent_vertices.iter() {
-                for &(t, tgt) in &nfa.state(sp).trans {
-                    if rt.label_map.matches(t, node_label) {
-                        if let Some(&to) = vertex_of.get(&tgt) {
-                            rt.cans[vp as usize].edges.push(to);
-                        }
-                    }
-                }
-            }
-
-            // Filters triggered here (λ annotations) plus those requested by
-            // the parent, closed under operator-state successors.
-            let mut request_set: BTreeSet<(AfaId, AfaStateId)> = p.requests.into_iter().collect();
-            for &s in &mstates {
-                if let Some(afa) = nfa.state(s).afa {
-                    request_set.insert((afa, rt.mfa.afa(afa).start()));
-                }
-            }
-            let closure = rt.close_requests(request_set);
-
-            let my_vertices: Rc<Vec<(StateId, u32)>> =
-                Rc::new(mstates.iter().map(|&s| (s, vertex_of[&s])).collect());
-            locals.push(Local {
-                query: p.query,
-                entry_states: p.entry_states,
-                mstates,
-                vertex_of,
-                closure,
-                my_vertices,
-            });
-        }
-
-        // Shared descent: a child is visited once if any query has work
-        // there; each query's participation is decided by its own pruning
-        // rules, exactly as in a solo run.
-        let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        let mut child_values: Vec<Vec<(LabelId, AfaValues)>> = vec![Vec::new(); locals.len()];
-        for child in children {
-            let child_label = self.tree.label(child);
-            let mut child_pending: Vec<Pending> = Vec::new();
-            let mut slots: Vec<usize> = Vec::new();
-            for (slot, local) in locals.iter().enumerate() {
-                let rt = &mut self.runtimes[local.query];
-                let nfa = rt.mfa.nfa();
-                let mut entry_c: Vec<StateId> = Vec::new();
-                for &s in &local.mstates {
-                    for &(t, tgt) in &nfa.state(s).trans {
-                        if rt.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
-                            entry_c.push(tgt);
-                        }
-                    }
-                }
-                let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
-                for &(afa, q) in &local.closure {
-                    if let AfaState::Trans(t, tgt) = rt.mfa.afa(afa).state(q) {
-                        if rt.label_map.matches(*t, child_label)
-                            && !requests_c.contains(&(afa, *tgt))
-                        {
-                            requests_c.push((afa, *tgt));
-                        }
-                    }
-                }
-                if entry_c.is_empty() && requests_c.is_empty() {
-                    continue; // basic pruning: nothing can happen below
-                }
-                if rt.can_skip_subtree(child_label, &entry_c, &requests_c) {
-                    continue; // index pruning: all pending filter values are false
-                }
-                child_pending.push(Pending {
-                    query: local.query,
-                    entry_states: entry_c,
-                    requests: requests_c,
-                    parent_vertices: Rc::clone(&local.my_vertices),
-                });
-                slots.push(slot);
-            }
-            if child_pending.is_empty() {
-                continue;
-            }
-            let outcomes = self.visit(child, child_pending);
-            for (slot, outcome) in slots.into_iter().zip(outcomes) {
-                debug_assert_eq!(locals[slot].query, outcome.query);
-                child_values[slot].push((child_label, outcome.values));
-            }
-        }
-
-        // Per-query back half: bottom-up filter evaluation and vertex
-        // invalidation.
-        let mut outcomes = Vec::with_capacity(locals.len());
-        for (slot, local) in locals.into_iter().enumerate() {
-            let rt = &mut self.runtimes[local.query];
-            let values =
-                rt.compute_values(self.tree.text(node), &local.closure, &child_values[slot]);
-            for &s in &local.mstates {
-                if let Some(afa) = rt.mfa.nfa().state(s).afa {
-                    let holds = values
-                        .get(&(afa, rt.mfa.afa(afa).start()))
-                        .copied()
-                        .unwrap_or(false);
-                    if !holds {
-                        rt.cans[local.vertex_of[&s] as usize].valid = false;
-                    }
-                }
-            }
-            let init = local
-                .entry_states
-                .iter()
-                .filter_map(|s| local.vertex_of.get(s).copied())
-                .collect();
-            outcomes.push(Outcome {
-                query: local.query,
-                values,
-                init,
-            });
-        }
-        outcomes
+/// The recursive tree driver of the shared core: open the node (the core
+/// decides per query whether it has work, pruning exactly as a solo run
+/// would), descend into the children only when some query kept the subtree
+/// alive, and close bottom-up.
+fn walk(core: &mut HypeCore, tree: &XmlTree, node: NodeId) {
+    if !core.open(node, tree.label(node)) {
+        return; // every query pruned the subtree: the moral "do not recurse"
     }
+    for &child in tree.children(node) {
+        walk(core, tree, child);
+    }
+    core.close(tree.text(node));
 }
 
 #[cfg(test)]

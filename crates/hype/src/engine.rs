@@ -17,17 +17,22 @@
 //!
 //! Since the batching PR there is a single implementation of the traversal:
 //! [`crate::batch`] drives N queries through one pass, and the solo entry
-//! points below are the 1-query special case of it. This keeps the hot path
-//! in one place and makes "batched equals sequential" true by construction
-//! for the solo/batch pair (the integration suite still checks it
-//! end-to-end over the whole query corpus).
+//! points below are the 1-query special case of it. Since the execution-IR
+//! PR that single implementation runs on the bitset-based
+//! [`CompiledMfa`] rather than interpreting the builder [`Mfa`] directly;
+//! the pre-IR engines survive in [`crate::interpreted`] as the differential
+//! oracle. This keeps the hot path in one place and makes "batched equals
+//! sequential" true by construction for the solo/batch pair (the
+//! integration suite still checks it end-to-end over the whole query
+//! corpus).
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
-use smoqe_automata::Mfa;
+use smoqe_automata::{CompiledMfa, Mfa};
 use smoqe_xml::{NodeId, XmlTree};
 
-use crate::batch::{evaluate_batch_at, BatchQuery};
+use crate::batch::{evaluate_batch_at, BatchQuery, CompiledBatchQuery};
 use crate::index::ReachabilityIndex;
 
 /// Execution statistics of one HyPE run, used to reproduce the paper's
@@ -95,6 +100,10 @@ pub fn evaluate_with_index(tree: &XmlTree, mfa: &Mfa, index: &ReachabilityIndex)
 }
 
 /// Evaluates `mfa` at `context`, optionally with an OptHyPE(-C) index.
+///
+/// The builder MFA is compiled to its [`CompiledMfa`] execution IR on every
+/// call; callers evaluating the same query repeatedly should compile once
+/// and use [`evaluate_compiled_at_with`].
 pub fn evaluate_at_with(
     tree: &XmlTree,
     context: NodeId,
@@ -102,6 +111,29 @@ pub fn evaluate_at_with(
     index: Option<&ReachabilityIndex>,
 ) -> HypeResult {
     let mut batch = evaluate_batch_at(tree, context, &[BatchQuery { mfa, index }]);
+    batch.results.pop().expect("one result per batched query")
+}
+
+/// Evaluates a pre-compiled execution IR at the root of `tree` with plain
+/// HyPE.
+pub fn evaluate_compiled(tree: &XmlTree, compiled: &Arc<CompiledMfa>) -> HypeResult {
+    evaluate_compiled_at_with(tree, tree.root(), compiled, None)
+}
+
+/// Evaluates a pre-compiled execution IR at `context`, optionally with an
+/// OptHyPE(-C) index — the compile-once counterpart of
+/// [`evaluate_at_with`].
+pub fn evaluate_compiled_at_with(
+    tree: &XmlTree,
+    context: NodeId,
+    compiled: &Arc<CompiledMfa>,
+    index: Option<&ReachabilityIndex>,
+) -> HypeResult {
+    let query = CompiledBatchQuery {
+        compiled: Arc::clone(compiled),
+        index,
+    };
+    let mut batch = crate::batch::evaluate_batch_compiled_at(tree, context, &[query]);
     batch.results.pop().expect("one result per batched query")
 }
 

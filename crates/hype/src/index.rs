@@ -14,7 +14,7 @@
 //! number of distinct content models while leaving lookups O(1).
 
 use smoqe_xml::{Dtd, LabelId, LabelInterner};
-use smoqe_automata::Mfa;
+use smoqe_automata::{CompiledMfa, Mfa};
 
 /// A per-document-label index of the MFA labels reachable strictly below an
 /// element carrying that label.
@@ -35,16 +35,35 @@ pub struct ReachabilityIndex {
 impl ReachabilityIndex {
     /// Builds the plain (OptHyPE) index.
     pub fn new(mfa: &Mfa, dtd: &Dtd, doc_labels: &LabelInterner) -> Self {
-        Self::build(mfa, dtd, doc_labels, false)
+        Self::from_labels(mfa.labels(), dtd, doc_labels, false)
     }
 
     /// Builds the compressed (OptHyPE-C) index.
     pub fn new_compressed(mfa: &Mfa, dtd: &Dtd, doc_labels: &LabelInterner) -> Self {
-        Self::build(mfa, dtd, doc_labels, true)
+        Self::from_labels(mfa.labels(), dtd, doc_labels, true)
     }
 
-    fn build(mfa: &Mfa, dtd: &Dtd, doc_labels: &LabelInterner, compressed: bool) -> Self {
-        let mfa_label_count = mfa.labels().len();
+    /// Builds the index from a compiled execution IR (which carries the
+    /// automaton's label interner), without the builder [`Mfa`].
+    pub fn for_compiled(
+        compiled: &CompiledMfa,
+        dtd: &Dtd,
+        doc_labels: &LabelInterner,
+        compressed: bool,
+    ) -> Self {
+        Self::from_labels(compiled.labels(), dtd, doc_labels, compressed)
+    }
+
+    /// Builds the index over an automaton's label interner directly: rows
+    /// are bitsets over that interner's ids, so any automaton sharing the
+    /// interner (a builder [`Mfa`] and its [`CompiledMfa`]) can consult it.
+    pub fn from_labels(
+        mfa_labels: &LabelInterner,
+        dtd: &Dtd,
+        doc_labels: &LabelInterner,
+        compressed: bool,
+    ) -> Self {
+        let mfa_label_count = mfa_labels.len();
         let words_per_row = mfa_label_count.div_ceil(64).max(1);
         let descendants = dtd.graph().descendant_types();
 
@@ -59,7 +78,7 @@ impl ReachabilityIndex {
             };
             let mut row = vec![0u64; words_per_row];
             for ty in below {
-                if let Some(mfa_id) = mfa.labels().get(ty) {
+                if let Some(mfa_id) = mfa_labels.get(ty) {
                     let bit = mfa_id.0 as usize;
                     row[bit / 64] |= 1u64 << (bit % 64);
                 }

@@ -44,6 +44,22 @@
 //! memory, with answers and statistics identical to the tree engine's. The
 //! per-node math all three entry points share lives in one internal
 //! `runtime` module, so the backends cannot drift apart.
+//!
+//! ## Compile once, run hot
+//!
+//! Every engine runs on the [`CompiledMfa`] **execution IR** of
+//! `smoqe_automata::compiled` rather than interpreting the builder
+//! `Mfa`: pending sets and filter values are `u64`-word bitsets, label
+//! matching is one table column read, and ε-/operator-closures are
+//! precompiled rows. The convenience entry points taking an `&Mfa` compile
+//! the IR per call; the `*_compiled` variants ([`evaluate_compiled`],
+//! [`evaluate_batch_compiled`], [`StreamHype::from_compiled`]) accept a
+//! shared `Arc<CompiledMfa>` so the compile cost is paid once per query —
+//! the `smoqe` service layer caches the IR next to the rewritten query.
+//! The pre-IR engines survive unchanged in [`interpreted`] as the
+//! reference implementation: the differential suites assert that the
+//! compiled engines reproduce their answers and [`HypeStats`] bit for bit,
+//! and the `compiled_throughput` bench measures the speedup against them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,10 +67,18 @@
 pub mod batch;
 pub mod engine;
 pub mod index;
+pub mod interpreted;
 mod runtime;
 pub mod stream;
 
-pub use batch::{evaluate_batch, evaluate_batch_at, BatchQuery, BatchResult, BatchStats};
-pub use engine::{evaluate, evaluate_at, evaluate_at_with, evaluate_with_index, HypeResult, HypeStats};
+pub use batch::{
+    evaluate_batch, evaluate_batch_at, evaluate_batch_compiled, evaluate_batch_compiled_at,
+    BatchQuery, BatchResult, BatchStats, CompiledBatchQuery,
+};
+pub use engine::{
+    evaluate, evaluate_at, evaluate_at_with, evaluate_compiled, evaluate_compiled_at_with,
+    evaluate_with_index, HypeResult, HypeStats,
+};
 pub use index::ReachabilityIndex;
+pub use smoqe_automata::CompiledMfa;
 pub use stream::{evaluate_stream, evaluate_stream_batch, StreamHype, StreamResult, StreamStats};

@@ -1,146 +1,272 @@
-//! Per-query evaluation state shared by the tree-walking batch engine
-//! ([`crate::batch`]) and the event-driven streaming engine
+//! The compiled per-node evaluation core shared by the tree-walking batch
+//! engine ([`crate::batch`]) and the event-driven streaming engine
 //! ([`crate::stream`]).
 //!
 //! Everything HyPE computes *at one node* — the `cans` vertices, the
 //! request closure, the OptHyPE pruning decision, the bottom-up Boolean
-//! values `X(node, state)` — depends only on the node's label, its text,
-//! and its children's labels and already-computed values. This module holds
-//! that per-node math in a tree-agnostic form (labels and text are passed
-//! in, never looked up), so the two traversal drivers cannot drift apart:
-//! a recursive DFS over an arena and a stack machine over `Open`/`Text`/
-//! `Close` events both call the exact same code and therefore produce
-//! identical answers *and* identical [`HypeStats`].
+//! values `X(node, state)` — runs here on the
+//! [`CompiledMfa`](smoqe_automata::CompiledMfa) execution IR:
+//!
+//! * pending NFA states and filter-state closures are `u64`-word bitsets
+//!   ([`smoqe_automata::compiled::bits`]), advanced with precompiled
+//!   `step-then-ε-close` and operator-closure rows instead of worklists;
+//! * filter values are bitset rows too — the per-node
+//!   `HashMap<(AfaId, AfaStateId), bool>` of the interpreted engine
+//!   ([`crate::interpreted`]) becomes three word rows (`computed`,
+//!   `in-progress`, `value`) cleared in O(words);
+//! * children hand their value rows up by OR-ing them into per-label
+//!   *accumulators*, so a `Trans` state evaluates with one bit test instead
+//!   of scanning every child;
+//! * all per-node state lives in pooled [`LocalScratch`] buffers — after
+//!   the pool warms up to the document depth, the steady-state per-node
+//!   path performs **no heap allocation** beyond the amortised growth of
+//!   the `cans` output arena (asserted by the `compiled_throughput` bench).
+//!
+//! The two traversal drivers are thin: [`HypeCore::open`] decides, per
+//! query, whether a node has work (building vertices, edges and closures
+//! when it does, reporting "skip this subtree" when no query has), and
+//! [`HypeCore::close`] resolves the node bottom-up. Because a recursive
+//! DFS over an arena and a stack machine over `Open`/`Text`/`Close` events
+//! call the exact same code, they produce identical answers *and*
+//! identical [`HypeStats`] — and the differential suites additionally pin
+//! both to the interpreted reference engines.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
-use smoqe_automata::{
-    AfaId, AfaState, AfaStateId, FinalPredicate, LabelMap, Mfa, StateId, Transition,
-};
+use smoqe_automata::compiled::{bits, ColumnMap, CompiledMfa};
+use smoqe_automata::{CompiledAfaState, FinalPredicate, ANY_LABEL};
 use smoqe_xml::{LabelId, LabelInterner, NodeId};
 
-use crate::batch::BatchQuery;
 use crate::engine::HypeStats;
 use crate::index::ReachabilityIndex;
 
-/// Boolean filter variables `X(node, state)` computed at one node.
-pub(crate) type AfaValues = HashMap<(AfaId, AfaStateId), bool>;
+/// Sentinel terminating a vertex's edge list in the shared edge pool.
+const NO_EDGE: u32 = u32::MAX;
 
-/// One vertex of a query's candidate-answer DAG `cans`.
+/// One vertex of a query's candidate-answer DAG `cans`. Edges live in the
+/// owning runtime's edge pool as a `(target, next)` linked list, so pushing
+/// an edge never allocates a per-vertex `Vec`.
 #[derive(Debug)]
 pub(crate) struct CansVertex {
-    /// The document node the vertex stands for. In the streaming engine
-    /// this is the node's pre-order index (see `crate::stream`).
-    pub node: NodeId,
-    pub is_final: bool,
+    /// The document node the vertex stands for (pre-order index in the
+    /// streaming engine).
+    node: NodeId,
+    is_final: bool,
     /// `false` once the state's AFA evaluated to false at `node`.
-    pub valid: bool,
-    pub edges: Vec<u32>,
+    valid: bool,
+    /// Head of the vertex's edge list in the pool, or [`NO_EDGE`].
+    edge_head: u32,
+}
+
+/// Reusable scratch of [`collect_answers`]: the visited stamps and the DFS
+/// stack survive across queries and across evaluations instead of being
+/// reallocated per call. Staleness is handled by epoch stamping — marking
+/// is a store, clearing is free.
+#[derive(Debug, Default)]
+pub(crate) struct CollectScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+impl CollectScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn begin(&mut self, vertices: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // One fill every 2³² evaluations keeps stale stamps impossible.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        if self.stamp.len() < vertices {
+            self.stamp.resize(vertices, 0);
+        }
+        self.stack.clear();
+    }
+
+    #[inline]
+    fn seen(&self, v: u32) -> bool {
+        self.stamp[v as usize] == self.epoch
+    }
+
+    #[inline]
+    fn mark(&mut self, v: u32) {
+        self.stamp[v as usize] = self.epoch;
+    }
 }
 
 /// Phase 2 of HyPE: traverse `cans` from the initial vertices through valid
 /// vertices only, collecting the nodes attached to final states.
-pub(crate) fn collect_answers(cans: &[CansVertex], init_vertices: &[u32]) -> BTreeSet<NodeId> {
+pub(crate) fn collect_answers(
+    cans: &[CansVertex],
+    edges: &[(u32, u32)],
+    init_vertices: &[u32],
+    scratch: &mut CollectScratch,
+) -> BTreeSet<NodeId> {
     let mut answers = BTreeSet::new();
-    let mut seen = vec![false; cans.len()];
-    let mut stack: Vec<u32> = init_vertices
-        .iter()
-        .filter(|&&v| cans[v as usize].valid)
-        .copied()
-        .collect();
-    for &v in &stack {
-        seen[v as usize] = true;
+    scratch.begin(cans.len());
+    for &v in init_vertices {
+        if cans[v as usize].valid && !scratch.seen(v) {
+            scratch.mark(v);
+            scratch.stack.push(v);
+        }
     }
-    while let Some(v) = stack.pop() {
+    while let Some(v) = scratch.stack.pop() {
         let vertex = &cans[v as usize];
         if vertex.is_final {
             answers.insert(vertex.node);
         }
-        for &next in &vertex.edges {
-            if !seen[next as usize] && cans[next as usize].valid {
-                seen[next as usize] = true;
-                stack.push(next);
+        let mut e = vertex.edge_head;
+        while e != NO_EDGE {
+            let (target, next) = edges[e as usize];
+            if !scratch.seen(target) && cans[target as usize].valid {
+                scratch.mark(target);
+                scratch.stack.push(target);
             }
+            e = next;
         }
     }
     answers
 }
 
-/// Everything one query carries through a traversal: its automaton, label
-/// translation, optional index with lazily-built pruning tables, its own
-/// `cans` arena and statistics.
+/// Pooled per-node, per-query working state: every bitset row one node
+/// visit needs. A visit takes one from the owning runtime's pool and
+/// returns it at close, so steady-state traversal allocates nothing.
+#[derive(Debug)]
+pub(crate) struct LocalScratch {
+    /// NFA states assumed at this node (ε-closed), `nfa_words` words.
+    mstates: Vec<u64>,
+    /// Closed pending filter states, `afa_words` words.
+    closure: Vec<u64>,
+    /// Filter states that evaluated to *true* here (filled at close).
+    values: Vec<u64>,
+    /// OR of all closed children's `values` (wildcard transitions).
+    acc_any: Vec<u64>,
+    /// Per label slot: OR of the matching children's `values` (flat,
+    /// `slots × afa_words`).
+    acc: Vec<u64>,
+    /// First `cans` vertex id of this node (states ascending).
+    vertex_base: u32,
+}
+
+impl LocalScratch {
+    fn sized(cm: &CompiledMfa) -> Self {
+        let aw = cm.afa_words();
+        LocalScratch {
+            mstates: vec![0; cm.nfa_words()],
+            closure: vec![0; aw],
+            values: vec![0; aw],
+            acc_any: vec![0; aw],
+            acc: vec![0; cm.slot_count() as usize * aw],
+            vertex_base: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        bits::clear(&mut self.mstates);
+        bits::clear(&mut self.closure);
+        bits::clear(&mut self.values);
+        bits::clear(&mut self.acc_any);
+        bits::clear(&mut self.acc);
+        self.vertex_base = 0;
+    }
+
+    #[inline]
+    fn acc_slot(&self, slot: u32, afa_words: usize) -> &[u64] {
+        &self.acc[slot as usize * afa_words..(slot as usize + 1) * afa_words]
+    }
+
+    #[inline]
+    fn acc_slot_mut(&mut self, slot: u32, afa_words: usize) -> &mut [u64] {
+        &mut self.acc[slot as usize * afa_words..(slot as usize + 1) * afa_words]
+    }
+}
+
+/// Everything one query carries through a compiled traversal: its IR, label
+/// translation, optional index with lazily-built bitset pruning tables, its
+/// `cans` arena (vertices + edge pool), statistics and scratch pools.
 pub(crate) struct QueryRuntime<'a> {
-    pub mfa: &'a Mfa,
-    pub label_map: LabelMap,
+    cm: Arc<CompiledMfa>,
+    cols: ColumnMap,
     index: Option<&'a ReachabilityIndex>,
-    /// Per document label: for every NFA state, whether a final state is
-    /// reachable from it using only transitions whose labels may occur
-    /// below an element with that label (wildcards always may). Lazily
-    /// populated; used by the OptHyPE pruning rule.
-    nfa_accept_below: HashMap<LabelId, Vec<bool>>,
-    /// Per document label, per AFA, per AFA state: whether the filter value
-    /// could possibly be true inside such a subtree (a final or a negation
-    /// is reachable through transitions allowed below the label).
-    afa_true_below: HashMap<LabelId, Vec<Vec<bool>>>,
+    /// Per document label: bitset of NFA states from which a final state is
+    /// reachable using only transitions the DTD allows below that label.
+    nfa_accept_below: HashMap<LabelId, Box<[u64]>>,
+    /// Per document label: bitset (global AFA numbering) of filter states
+    /// whose value could possibly be true inside such a subtree.
+    afa_true_below: HashMap<LabelId, Box<[u64]>>,
     pub cans: Vec<CansVertex>,
+    /// `(target, next)` edge pool; its length is the `cans_edges` statistic.
+    pub edges: Vec<(u32, u32)>,
     pub stats: HypeStats,
+    free_locals: Vec<LocalScratch>,
+    /// Value-evaluation scratch (one row each), cleared per close.
+    computed: Vec<u64>,
+    in_progress: Vec<u64>,
 }
 
 impl<'a> QueryRuntime<'a> {
-    pub fn new(doc_labels: &LabelInterner, query: &BatchQuery<'a>) -> Self {
+    pub fn new(
+        doc_labels: &LabelInterner,
+        compiled: Arc<CompiledMfa>,
+        index: Option<&'a ReachabilityIndex>,
+    ) -> Self {
+        let cols = ColumnMap::new(&compiled, doc_labels);
+        let aw = compiled.afa_words();
         QueryRuntime {
-            mfa: query.mfa,
-            label_map: LabelMap::new(query.mfa, doc_labels),
-            index: query.index,
+            cols,
+            index,
             nfa_accept_below: HashMap::new(),
             afa_true_below: HashMap::new(),
             cans: Vec::new(),
+            edges: Vec::new(),
             stats: HypeStats::default(),
+            free_locals: Vec::new(),
+            computed: vec![0; aw],
+            in_progress: vec![0; aw],
+            cm: compiled,
         }
     }
 
     /// Covers document labels interned after construction (the streaming
     /// engine interns labels as they first appear on `Open` events).
     pub fn extend_labels(&mut self, doc_labels: &LabelInterner) {
-        self.label_map.extend(self.mfa, doc_labels);
+        self.cols.extend(&self.cm, doc_labels);
     }
 
-    /// Closes a set of requested filter states under operator-state
-    /// successors (AND/OR/NOT ε-moves stay on the same node).
-    pub fn close_requests(
-        &self,
-        initial: BTreeSet<(AfaId, AfaStateId)>,
-    ) -> BTreeSet<(AfaId, AfaStateId)> {
-        let mut closure = initial.clone();
-        let mut worklist: Vec<(AfaId, AfaStateId)> = initial.into_iter().collect();
-        while let Some((afa, q)) = worklist.pop() {
-            let successors: Vec<AfaStateId> = match self.mfa.afa(afa).state(q) {
-                AfaState::And(v) | AfaState::Or(v) => v.clone(),
-                AfaState::Not(x) => vec![*x],
-                AfaState::Trans(..) | AfaState::Final(_) => Vec::new(),
-            };
-            for s in successors {
-                if closure.insert((afa, s)) {
-                    worklist.push((afa, s));
-                }
+    fn alloc_local(&mut self) -> LocalScratch {
+        match self.free_locals.pop() {
+            Some(mut sc) => {
+                sc.reset();
+                sc
             }
+            None => LocalScratch::sized(&self.cm),
         }
-        closure
+    }
+
+    fn free_local(&mut self, sc: LocalScratch) {
+        self.free_locals.push(sc);
     }
 
     // -----------------------------------------------------------------------
-    // OptHyPE pruning.
+    // OptHyPE pruning (bitset tables).
     // -----------------------------------------------------------------------
 
     /// `true` if this query can skip the subtree rooted at a child labelled
-    /// `child_label`: the DTD guarantees that no selecting-NFA state pending
-    /// there can reach a final state, and every pending filter state is
-    /// necessarily false.
-    pub fn can_skip_subtree(
+    /// `child_label`, given the child's ε-closed pending NFA states and its
+    /// *closed* pending filter states. Closing the requests first is
+    /// equivalent to the interpreted engine's unclosed check: operator
+    /// states propagate "maybe true" from their successors, so a request is
+    /// all-false exactly when its whole operator closure is.
+    pub fn can_skip(
         &mut self,
         child_label: LabelId,
-        entry_states: &[StateId],
-        requests: &[(AfaId, AfaStateId)],
+        child_mstates: &[u64],
+        closed_requests: &[u64],
     ) -> bool {
         let Some(index) = self.index else {
             return false;
@@ -152,67 +278,45 @@ impl<'a> QueryRuntime<'a> {
             let table = self.compute_nfa_accept_below(child_label);
             self.nfa_accept_below.insert(child_label, table);
         }
-        let nfa_table = &self.nfa_accept_below[&child_label];
-        let closure = self.mfa.nfa().eps_closure(entry_states);
-        if closure.iter().any(|s| nfa_table[s.index()]) {
+        if bits::intersects(child_mstates, &self.nfa_accept_below[&child_label]) {
             return false;
         }
-        if requests.is_empty() {
+        if !bits::any(closed_requests) {
             return true;
         }
         if !self.afa_true_below.contains_key(&child_label) {
             let table = self.compute_afa_true_below(child_label);
             self.afa_true_below.insert(child_label, table);
         }
-        let afa_table = &self.afa_true_below[&child_label];
-        requests
-            .iter()
-            .all(|&(afa, q)| !afa_table[afa.index()][q.index()])
+        !bits::intersects(closed_requests, &self.afa_true_below[&child_label])
     }
 
-    /// Whether a label transition may fire inside a subtree whose root
-    /// carries `below_label`: wildcards always may, named labels only if the
-    /// DTD allows them below that element type.
-    fn transition_allowed_below(&self, t: Transition, allowed: &[u64]) -> bool {
-        match t {
-            Transition::Any => true,
-            Transition::Label(l) => {
-                let bit = l as usize;
-                allowed
-                    .get(bit / 64)
-                    .map(|w| w & (1 << (bit % 64)) != 0)
-                    .unwrap_or(false)
-            }
-        }
-    }
-
-    /// Per NFA state: can a final state be reached using only transitions
-    /// that may fire inside a subtree labelled `label`?
-    fn compute_nfa_accept_below(&self, label: LabelId) -> Vec<bool> {
+    fn compute_nfa_accept_below(&self, label: LabelId) -> Box<[u64]> {
         let index = self.index.expect("called only with an index");
         let allowed = index
             .allowed_below(label)
             .expect("caller checked the label is known")
             .to_vec();
-        let nfa = self.mfa.nfa();
-        let mut can = vec![false; nfa.len()];
-        for (id, state) in nfa.states() {
-            if state.is_final {
-                can[id.index()] = true;
+        let cm = &self.cm;
+        let n = cm.nfa_state_count();
+        let mut can = vec![0u64; cm.nfa_words()];
+        for s in 0..n {
+            if cm.is_final(s) {
+                bits::set(&mut can, s);
             }
         }
         loop {
             let mut changed = false;
-            for (id, state) in nfa.states() {
-                if can[id.index()] {
+            for s in 0..n {
+                if bits::test(&can, s) {
                     continue;
                 }
-                let reach = state.eps.iter().any(|e| can[e.index()])
-                    || state.trans.iter().any(|&(t, tgt)| {
-                        self.transition_allowed_below(t, &allowed) && can[tgt.index()]
+                let reach = cm.eps_targets(s).iter().any(|&t| bits::test(&can, t))
+                    || cm.raw_transitions(s).iter().any(|&(l, tgt)| {
+                        label_allowed_below(l, &allowed) && bits::test(&can, tgt)
                     });
                 if reach {
-                    can[id.index()] = true;
+                    bits::set(&mut can, s);
                     changed = true;
                 }
             }
@@ -220,112 +324,421 @@ impl<'a> QueryRuntime<'a> {
                 break;
             }
         }
-        can
+        can.into_boxed_slice()
     }
 
-    /// Per AFA state: could its value be true at some node inside a subtree
-    /// labelled `label`? Over-approximated: a reachable final state or any
-    /// reachable negation makes the answer "maybe".
-    fn compute_afa_true_below(&self, label: LabelId) -> Vec<Vec<bool>> {
+    fn compute_afa_true_below(&self, label: LabelId) -> Box<[u64]> {
         let index = self.index.expect("called only with an index");
         let allowed = index
             .allowed_below(label)
             .expect("caller checked the label is known")
             .to_vec();
-        let mut out = Vec::with_capacity(self.mfa.afas().len());
-        for afa in self.mfa.afas() {
-            let mut maybe = vec![false; afa.len()];
-            for (id, state) in afa.states() {
-                if matches!(state, AfaState::Final(_) | AfaState::Not(_)) {
-                    maybe[id.index()] = true;
-                }
+        let cm = &self.cm;
+        let total = cm.afa_state_count();
+        let mut maybe = vec![0u64; cm.afa_words()];
+        for g in 0..total {
+            if matches!(
+                cm.op(g),
+                CompiledAfaState::Final(_) | CompiledAfaState::Not(_)
+            ) {
+                bits::set(&mut maybe, g);
             }
-            loop {
-                let mut changed = false;
-                for (id, state) in afa.states() {
-                    if maybe[id.index()] {
-                        continue;
-                    }
-                    let reach = match state {
-                        AfaState::And(v) | AfaState::Or(v) => v.iter().any(|s| maybe[s.index()]),
-                        AfaState::Not(_) | AfaState::Final(_) => true,
-                        AfaState::Trans(t, tgt) => {
-                            self.transition_allowed_below(*t, &allowed) && maybe[tgt.index()]
-                        }
-                    };
-                    if reach {
-                        maybe[id.index()] = true;
-                        changed = true;
-                    }
-                }
-                if !changed {
-                    break;
-                }
-            }
-            out.push(maybe);
         }
-        out
+        loop {
+            let mut changed = false;
+            for g in 0..total {
+                if bits::test(&maybe, g) {
+                    continue;
+                }
+                let reach = match cm.op(g) {
+                    CompiledAfaState::And { from, to } | CompiledAfaState::Or { from, to } => cm
+                        .succ_pool()[*from as usize..*to as usize]
+                        .iter()
+                        .any(|&s| bits::test(&maybe, s)),
+                    CompiledAfaState::Not(_) | CompiledAfaState::Final(_) => true,
+                    CompiledAfaState::Trans { label: l, tgt } => {
+                        label_allowed_below(*l, &allowed) && bits::test(&maybe, *tgt)
+                    }
+                };
+                if reach {
+                    bits::set(&mut maybe, g);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        maybe.into_boxed_slice()
     }
 
     // -----------------------------------------------------------------------
     // Bottom-up filter evaluation.
     // -----------------------------------------------------------------------
 
-    /// Computes the Boolean variables `X(node, state)` for every filter
-    /// state in `closure`, given the node's own text and the children's
-    /// already-computed values (keyed by each child's document label).
-    pub fn compute_values(
-        &mut self,
-        node_text: Option<&str>,
-        closure: &BTreeSet<(AfaId, AfaStateId)>,
-        child_values: &[(LabelId, AfaValues)],
-    ) -> AfaValues {
-        let mut memo: AfaValues = HashMap::with_capacity(closure.len());
-        for &(afa, q) in closure {
-            let mut in_progress = BTreeSet::new();
-            self.value_of(node_text, afa, q, child_values, &mut memo, &mut in_progress);
+    /// Computes `X(node, state)` for every filter state in `sc.closure`,
+    /// reading the children's values from the accumulators and leaving the
+    /// true states set in `sc.values`. Evaluation order — ascending global
+    /// id, successor lists in builder order, short-circuiting AND/OR, least
+    /// fix-point false on ε-cycles — replicates the interpreted engine
+    /// exactly, so the memoised values (and the `afa_values_computed`
+    /// statistic) are bit-identical.
+    fn compute_values(&mut self, node_text: Option<&str>, sc: &mut LocalScratch) {
+        bits::clear(&mut self.computed);
+        bits::clear(&mut self.in_progress);
+        // The closure word is copied out (not iterated with `bits::ones`)
+        // because `value_of` needs `sc` mutably for the memoised values.
+        for wi in 0..sc.closure.len() {
+            let mut w = sc.closure[wi];
+            while w != 0 {
+                let g = wi as u32 * 64 + w.trailing_zeros();
+                w &= w - 1;
+                value_of(
+                    &self.cm,
+                    g,
+                    node_text,
+                    &mut self.computed,
+                    &mut self.in_progress,
+                    sc,
+                    &mut self.stats,
+                );
+            }
         }
-        memo
+    }
+}
+
+/// Whether a transition on `label` (or [`ANY_LABEL`]) may fire inside a
+/// subtree whose DTD-allowed label bitset is `allowed`.
+#[inline]
+fn label_allowed_below(label: u32, allowed: &[u64]) -> bool {
+    if label == ANY_LABEL {
+        return true;
+    }
+    let bit = label as usize;
+    allowed
+        .get(bit / 64)
+        .map(|w| w & (1 << (bit % 64)) != 0)
+        .unwrap_or(false)
+}
+
+/// Recursive memoised evaluation of one filter variable; see
+/// [`QueryRuntime::compute_values`] for the order contract.
+fn value_of(
+    cm: &CompiledMfa,
+    g: u32,
+    node_text: Option<&str>,
+    computed: &mut [u64],
+    in_progress: &mut [u64],
+    sc: &mut LocalScratch,
+    stats: &mut HypeStats,
+) -> bool {
+    if bits::test(computed, g) {
+        return bits::test(&sc.values, g);
+    }
+    if bits::test(in_progress, g) {
+        // ε-cycle among operator states (degenerate `(.)*` filters):
+        // the least fix-point is false.
+        return false;
+    }
+    bits::set(in_progress, g);
+    stats.afa_values_computed += 1;
+    let value = match cm.op(g) {
+        CompiledAfaState::Final(pred) => match pred {
+            FinalPredicate::True => true,
+            FinalPredicate::False => false,
+            FinalPredicate::TextEq(value) => node_text == Some(value.as_str()),
+        },
+        CompiledAfaState::Not(x) => {
+            !value_of(cm, *x, node_text, computed, in_progress, sc, stats)
+        }
+        CompiledAfaState::And { from, to } => cm.succ_pool()[*from as usize..*to as usize]
+            .iter()
+            .all(|&c| value_of(cm, c, node_text, computed, in_progress, sc, stats)),
+        CompiledAfaState::Or { from, to } => cm.succ_pool()[*from as usize..*to as usize]
+            .iter()
+            .any(|&c| value_of(cm, c, node_text, computed, in_progress, sc, stats)),
+        CompiledAfaState::Trans { label, tgt } => {
+            if *label == ANY_LABEL {
+                bits::test(&sc.acc_any, *tgt)
+            } else {
+                match cm.slot_of_label(*label) {
+                    Some(slot) => bits::test(sc.acc_slot(slot, cm.afa_words()), *tgt),
+                    None => false,
+                }
+            }
+        }
+    };
+    bits::unset(in_progress, g);
+    bits::set(computed, g);
+    if value {
+        bits::set(&mut sc.values, g);
+    }
+    value
+}
+
+// ---------------------------------------------------------------------------
+// The shared traversal core.
+// ---------------------------------------------------------------------------
+
+/// One query's live state at an open node.
+struct CoreLocal {
+    query: u32,
+    /// Index of this query's local in the parent frame, `u32::MAX` at the
+    /// evaluation context (whose entry vertex becomes the `Init` set).
+    parent_slot: u32,
+    /// Accumulator slot of this node's label column for this query
+    /// (`u32::MAX` when no filter transition mentions the label).
+    slot: u32,
+    scratch: LocalScratch,
+}
+
+/// Per-node frame: the per-query locals of every query with work here.
+#[derive(Default)]
+struct CoreFrame {
+    locals: Vec<CoreLocal>,
+}
+
+/// The compiled evaluation core: a stack machine over `open`/`close` whose
+/// drivers are the recursive tree walk ([`crate::batch`]) and the XML event
+/// loop ([`crate::stream`]).
+pub(crate) struct HypeCore<'a> {
+    pub runtimes: Vec<QueryRuntime<'a>>,
+    frames: Vec<CoreFrame>,
+    free_frames: Vec<CoreFrame>,
+    /// Nodes for which a frame was created (each counted once however many
+    /// queries are pending there).
+    pub physical_visits: usize,
+    init_of: Vec<Vec<u32>>,
+}
+
+impl<'a> HypeCore<'a> {
+    pub fn new(runtimes: Vec<QueryRuntime<'a>>) -> Self {
+        let queries = runtimes.len();
+        HypeCore {
+            runtimes,
+            frames: Vec::new(),
+            free_frames: Vec::new(),
+            physical_visits: 0,
+            init_of: vec![Vec::new(); queries],
+        }
     }
 
-    fn value_of(
-        &mut self,
-        node_text: Option<&str>,
-        afa: AfaId,
-        q: AfaStateId,
-        child_values: &[(LabelId, AfaValues)],
-        memo: &mut AfaValues,
-        in_progress: &mut BTreeSet<(AfaId, AfaStateId)>,
-    ) -> bool {
-        if let Some(&v) = memo.get(&(afa, q)) {
-            return v;
+    /// Number of live frames (for the streaming engine's observability).
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Propagates labels interned after construction to every runtime.
+    pub fn extend_labels(&mut self, doc_labels: &LabelInterner) {
+        for rt in &mut self.runtimes {
+            rt.extend_labels(doc_labels);
         }
-        if !in_progress.insert((afa, q)) {
-            // ε-cycle among operator states (degenerate `(.)*` filters):
-            // the least fix-point is false.
+    }
+
+    /// Opens `node`: decides per query whether it has work here (pruning
+    /// exactly as the interpreted engine does), and if any has, builds the
+    /// frame — vertices, ε and parent edges, request closures. Returns
+    /// `false` when **every** query prunes the subtree, in which case no
+    /// frame exists and the driver must skip the subtree without calling
+    /// [`Self::close`].
+    pub fn open(&mut self, node: NodeId, label: LabelId) -> bool {
+        let mut frame = self.free_frames.pop().unwrap_or_default();
+        debug_assert!(frame.locals.is_empty());
+
+        if let Some(parent) = self.frames.last() {
+            for (pi, pl) in parent.locals.iter().enumerate() {
+                let rt = &mut self.runtimes[pl.query as usize];
+                let col = rt.cols.col(label);
+                let mut sc = rt.alloc_local();
+
+                // Child mstates: step every pending state on the column and
+                // ε-close, all via precompiled rows.
+                for s in bits::ones(&pl.scratch.mstates) {
+                    bits::or_into(&mut sc.mstates, rt.cm.step_closure(s, col));
+                }
+                // Closed filter requests propagated through matching
+                // transition states.
+                if bits::intersects(rt.cm.req_mask(col), &pl.scratch.closure) {
+                    for &(g, tgt) in rt.cm.req_transitions(col) {
+                        if bits::test(&pl.scratch.closure, g) {
+                            bits::or_into(&mut sc.closure, rt.cm.op_closure(tgt));
+                        }
+                    }
+                }
+                if !bits::any(&sc.mstates) && !bits::any(&sc.closure) {
+                    rt.free_local(sc); // basic pruning: nothing can happen below
+                    continue;
+                }
+                if rt.can_skip(label, &sc.mstates, &sc.closure) {
+                    rt.free_local(sc); // index pruning: pending work is dead
+                    continue;
+                }
+                rt.stats.nodes_visited += 1;
+
+                // λ triggers: filters started by states assumed here.
+                add_triggers(&rt.cm, &mut sc);
+                // Vertices and within-node ε edges.
+                build_vertices(&mut rt.cans, &mut rt.edges, &rt.cm, node, &mut sc);
+                // Edges from the parent's vertices into this node's states.
+                for (kp, sp) in bits::ones(&pl.scratch.mstates).enumerate() {
+                    let vp = pl.scratch.vertex_base + kp as u32;
+                    for &tgt in rt.cm.step_targets(sp, col) {
+                        if bits::test(&sc.mstates, tgt) {
+                            let to = sc.vertex_base + bits::rank(&sc.mstates, tgt);
+                            push_edge(&mut rt.cans, &mut rt.edges, vp, to);
+                        }
+                    }
+                }
+
+                frame.locals.push(CoreLocal {
+                    query: pl.query,
+                    parent_slot: pi as u32,
+                    slot: rt.cm.slot_of_label(col).unwrap_or(u32::MAX),
+                    scratch: sc,
+                });
+            }
+        } else {
+            // The evaluation context: every query starts here with its NFA
+            // start state and no pending filter requests — never pruned.
+            for (query, rt) in self.runtimes.iter_mut().enumerate() {
+                let mut sc = rt.alloc_local();
+                bits::or_into(&mut sc.mstates, rt.cm.state_closure(rt.cm.start()));
+                rt.stats.nodes_visited += 1;
+                add_triggers(&rt.cm, &mut sc);
+                build_vertices(&mut rt.cans, &mut rt.edges, &rt.cm, node, &mut sc);
+                frame.locals.push(CoreLocal {
+                    query: query as u32,
+                    parent_slot: u32::MAX,
+                    slot: u32::MAX,
+                    scratch: sc,
+                });
+            }
+        }
+
+        if frame.locals.is_empty() {
+            self.free_frames.push(frame);
             return false;
         }
-        self.stats.afa_values_computed += 1;
-        let value = match self.mfa.afa(afa).state(q).clone() {
-            AfaState::Final(pred) => match pred {
-                FinalPredicate::True => true,
-                FinalPredicate::False => false,
-                FinalPredicate::TextEq(ref value) => node_text == Some(value.as_str()),
-            },
-            AfaState::Not(x) => !self.value_of(node_text, afa, x, child_values, memo, in_progress),
-            AfaState::And(children) => children
-                .iter()
-                .all(|&c| self.value_of(node_text, afa, c, child_values, memo, in_progress)),
-            AfaState::Or(children) => children
-                .iter()
-                .any(|&c| self.value_of(node_text, afa, c, child_values, memo, in_progress)),
-            AfaState::Trans(t, tgt) => child_values.iter().any(|(child_label, values)| {
-                self.label_map.matches(t, *child_label)
-                    && values.get(&(afa, tgt)).copied().unwrap_or(false)
-            }),
-        };
-        in_progress.remove(&(afa, q));
-        memo.insert((afa, q), value);
-        value
+        self.physical_visits += 1;
+        self.frames.push(frame);
+        true
+    }
+
+    /// Closes the innermost open node: evaluates the pending filter states
+    /// bottom-up from the accumulated child values, invalidates `cans`
+    /// vertices whose filter failed, and hands this node's values up to the
+    /// parent frame's accumulators (or records the `Init` vertices at the
+    /// evaluation context).
+    pub fn close(&mut self, node_text: Option<&str>) {
+        let mut frame = self.frames.pop().expect("close() without a matching open()");
+        for mut local in frame.locals.drain(..) {
+            let q = local.query as usize;
+            let rt = &mut self.runtimes[q];
+            rt.compute_values(node_text, &mut local.scratch);
+
+            // Invalidate vertices whose λ-annotated filter is false here.
+            for (k, s) in bits::ones(&local.scratch.mstates).enumerate() {
+                if let Some(g) = rt.cm.afa_start_of(s) {
+                    if !bits::test(&local.scratch.values, g) {
+                        rt.cans[local.scratch.vertex_base as usize + k].valid = false;
+                    }
+                }
+            }
+
+            if local.parent_slot == u32::MAX {
+                // Evaluation context: its entry state is the NFA start.
+                let start = rt.cm.start();
+                debug_assert!(bits::test(&local.scratch.mstates, start));
+                self.init_of[q] = vec![
+                    local.scratch.vertex_base + bits::rank(&local.scratch.mstates, start),
+                ];
+            } else {
+                let parent = self
+                    .frames
+                    .last_mut()
+                    .expect("non-context frame has a parent");
+                let psc = &mut parent.locals[local.parent_slot as usize].scratch;
+                bits::or_into(&mut psc.acc_any, &local.scratch.values);
+                if local.slot != u32::MAX {
+                    bits::or_into(
+                        psc.acc_slot_mut(local.slot, rt.cm.afa_words()),
+                        &local.scratch.values,
+                    );
+                }
+            }
+            rt.free_local(local.scratch);
+        }
+        self.free_frames.push(frame);
+    }
+
+    /// Consumes the core: collects each query's answers from its `cans` DAG
+    /// and finalises statistics. Returns the per-query results plus the
+    /// physical and sequential visit counts.
+    pub fn into_results(self, nodes_total: usize) -> (Vec<crate::engine::HypeResult>, usize, usize) {
+        let mut scratch = CollectScratch::new();
+        let mut results = Vec::with_capacity(self.runtimes.len());
+        let mut sequential_node_visits = 0;
+        for (query, rt) in self.runtimes.into_iter().enumerate() {
+            let answers = collect_answers(&rt.cans, &rt.edges, &self.init_of[query], &mut scratch);
+            let mut stats = rt.stats;
+            stats.nodes_total = nodes_total;
+            stats.cans_vertices = rt.cans.len();
+            stats.cans_edges = rt.edges.len();
+            sequential_node_visits += stats.nodes_visited;
+            results.push(crate::engine::HypeResult { answers, stats });
+        }
+        (results, self.physical_visits, sequential_node_visits)
+    }
+}
+
+/// Appends an edge to a vertex's linked list in the shared edge pool. A free
+/// function over the runtime's `cans`/`edges` fields so callers can hold
+/// other `QueryRuntime` borrows (notably `&rt.cm`) across the call.
+#[inline]
+fn push_edge(cans: &mut [CansVertex], edges: &mut Vec<(u32, u32)>, from_vertex: u32, target: u32) {
+    let head = cans[from_vertex as usize].edge_head;
+    edges.push((target, head));
+    cans[from_vertex as usize].edge_head = (edges.len() - 1) as u32;
+}
+
+/// ORs the closed trigger rows of every λ-annotated pending state into the
+/// node's filter closure.
+fn add_triggers(cm: &CompiledMfa, sc: &mut LocalScratch) {
+    let LocalScratch {
+        mstates, closure, ..
+    } = sc;
+    for s in bits::ones(mstates) {
+        if cm.afa_start_of(s).is_some() {
+            bits::or_into(closure, cm.trigger_row(s));
+        }
+    }
+}
+
+/// Pushes one `cans` vertex per pending state (ascending, so vertex ids are
+/// `vertex_base + rank(state)`) and the within-node ε edges.
+fn build_vertices(
+    cans: &mut Vec<CansVertex>,
+    edges: &mut Vec<(u32, u32)>,
+    cm: &CompiledMfa,
+    node: NodeId,
+    sc: &mut LocalScratch,
+) {
+    sc.vertex_base = cans.len() as u32;
+    for s in bits::ones(&sc.mstates) {
+        cans.push(CansVertex {
+            node,
+            is_final: cm.is_final(s),
+            valid: true,
+            edge_head: NO_EDGE,
+        });
+    }
+    for (k, s) in bits::ones(&sc.mstates).enumerate() {
+        let from = sc.vertex_base + k as u32;
+        for &t in cm.eps_targets(s) {
+            if bits::test(&sc.mstates, t) {
+                let to = sc.vertex_base + bits::rank(&sc.mstates, t);
+                push_edge(cans, edges, from, to);
+            }
+        }
     }
 }

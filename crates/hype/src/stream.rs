@@ -10,12 +10,14 @@
 //! (`cans` DAG + answers); no arena tree is ever materialized, which the
 //! benchmarks assert via [`smoqe_xml::node_allocations`].
 //!
-//! The machine is a faithful port of the batched tree engine
-//! ([`crate::batch`]): a frame holds exactly the per-query state the
-//! recursive evaluator keeps on the call stack, the per-node math lives in
-//! the shared internal `runtime` module, and pruning works event-side by
-//! entering *skip mode* — a dead subtree's events are drained with a depth
-//! counter and zero per-query work, the moral equivalent of not recursing.
+//! The machine shares its entire per-node core with the batched tree
+//! engine ([`crate::batch`]): both are drivers over the internal `runtime`
+//! stack machine, which runs on the bitset-based
+//! [`CompiledMfa`](smoqe_automata::CompiledMfa) execution IR — a frame
+//! holds exactly the pooled per-query state the recursive evaluator keeps
+//! on the call stack, and pruning works event-side by entering *skip mode*
+//! — a dead subtree's events are drained with a depth counter and zero
+//! per-query work, the moral equivalent of not recursing.
 //! As a consequence, answers and [`HypeStats`](crate::HypeStats) are **identical** to the
 //! tree engine's, query by query, in solo and batched modes alike (locked
 //! in by the `streaming` integration suite).
@@ -38,15 +40,15 @@
 //! indexed streaming requires seeding the engine with that same interner
 //! via [`StreamHype::with_interner`]. The plain-HyPE path needs no seeding.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
-use smoqe_automata::{AfaId, AfaState, AfaStateId, Mfa, StateId};
+use smoqe_automata::Mfa;
 use smoqe_xml::stream::{EventSource, XmlEvent};
-use smoqe_xml::{LabelId, LabelInterner, NodeId, ParseError};
+use smoqe_xml::{LabelInterner, NodeId, ParseError};
 
-use crate::batch::BatchQuery;
+use crate::batch::{BatchQuery, CompiledBatchQuery};
 use crate::engine::HypeResult;
-use crate::runtime::{collect_answers, AfaValues, CansVertex, QueryRuntime};
+use crate::runtime::{HypeCore, QueryRuntime};
 
 /// Aggregate statistics of one streamed evaluation.
 ///
@@ -100,33 +102,14 @@ pub struct StreamResult {
     pub stats: StreamStats,
 }
 
-/// One query's state local to one open element.
-struct StreamLocal {
-    /// Engine-level query index.
-    query: usize,
-    /// Position of this query's local in the *parent* frame, `None` for the
-    /// root frame (whose entry vertices become the `Init` set).
-    parent_slot: Option<usize>,
-    entry_states: Vec<StateId>,
-    mstates: Vec<StateId>,
-    vertex_of: std::collections::HashMap<StateId, u32>,
-    closure: std::collections::BTreeSet<(AfaId, AfaStateId)>,
-    my_vertices: Rc<Vec<(StateId, u32)>>,
-    /// `(label, values)` of the already-closed children this query
-    /// descended into, in document order — the input of the bottom-up pass.
-    child_values: Vec<(LabelId, AfaValues)>,
-}
-
-/// Everything the machine keeps per open element: the moral equivalent of
-/// one recursive call's stack frame in the tree engine.
-struct Frame {
-    label: LabelId,
-    /// Last text run seen directly under this element (a later run
-    /// overwrites an earlier one, matching the tree parser's semantics of
-    /// text attached at close).
-    text: Option<Box<str>>,
-    /// Per participating query; queries pruned here have no entry.
-    locals: Vec<StreamLocal>,
+/// Pooled text buffer of one open element: a later text run overwrites an
+/// earlier one, matching the tree parser's "text attached at close"
+/// semantics, and the `String` capacity is recycled across elements so the
+/// steady state allocates nothing per text event.
+#[derive(Default)]
+struct TextEntry {
+    has: bool,
+    buf: String,
 }
 
 /// The streaming HyPE stack machine.
@@ -150,13 +133,15 @@ struct Frame {
 /// assert_eq!(out.stats.peak_frames, 3); // O(depth), not O(document)
 /// ```
 pub struct StreamHype<'a> {
-    runtimes: Vec<QueryRuntime<'a>>,
+    /// The compiled evaluation core shared with the tree engine.
+    core: HypeCore<'a>,
     /// Grows as labels first appear on the stream.
     labels: LabelInterner,
-    /// How many interned labels the runtimes' label maps already cover.
+    /// How many interned labels the runtimes' column maps already cover.
     known_labels: usize,
-    /// One frame per open element that at least one query is working in.
-    frames: Vec<Frame>,
+    /// One pooled text buffer per live work frame.
+    texts: Vec<TextEntry>,
+    spare_texts: Vec<TextEntry>,
     /// When > 0, the machine is draining a subtree every query pruned:
     /// the count of open elements inside the dead region.
     skip_depth: usize,
@@ -166,11 +151,8 @@ pub struct StreamHype<'a> {
     root_done: bool,
     /// Pre-order index handed to the next `Open` event.
     next_preorder: u32,
-    /// Per query: `cans` vertex ids of the root's entry states.
-    init_of: Vec<Vec<u32>>,
     events: usize,
     nodes_total: usize,
-    physical_visits: usize,
     peak_depth: usize,
     peak_frames: usize,
 }
@@ -178,7 +160,8 @@ pub struct StreamHype<'a> {
 impl<'a> StreamHype<'a> {
     /// A machine for `queries` with a fresh label interner (plain HyPE; see
     /// the module docs for why indexed queries need
-    /// [`Self::with_interner`]).
+    /// [`Self::with_interner`]). Each query's execution IR is compiled on
+    /// entry; use [`Self::from_compiled`] to reuse cached IRs.
     pub fn new(queries: &[BatchQuery<'a>]) -> Self {
         Self::with_interner(queries, LabelInterner::new())
     }
@@ -187,21 +170,30 @@ impl<'a> StreamHype<'a> {
     /// when any [`BatchQuery::index`] is set, so the stream's label ids
     /// agree with the ids the [`crate::ReachabilityIndex`] was built over.
     pub fn with_interner(queries: &[BatchQuery<'a>], labels: LabelInterner) -> Self {
-        let runtimes: Vec<QueryRuntime> =
-            queries.iter().map(|q| QueryRuntime::new(&labels, q)).collect();
+        let compiled: Vec<CompiledBatchQuery<'a>> =
+            queries.iter().map(BatchQuery::compile).collect();
+        Self::from_compiled(&compiled, labels)
+    }
+
+    /// A machine over pre-compiled execution IRs (shared via `Arc`, e.g.
+    /// from the `smoqe` service cache), with a seeded label interner.
+    pub fn from_compiled(queries: &[CompiledBatchQuery<'a>], labels: LabelInterner) -> Self {
+        let runtimes: Vec<QueryRuntime> = queries
+            .iter()
+            .map(|q| QueryRuntime::new(&labels, Arc::clone(&q.compiled), q.index))
+            .collect();
         StreamHype {
+            core: HypeCore::new(runtimes),
             known_labels: labels.len(),
-            init_of: vec![Vec::new(); runtimes.len()],
-            runtimes,
             labels,
-            frames: Vec::new(),
+            texts: Vec::new(),
+            spare_texts: Vec::new(),
             skip_depth: 0,
             depth: 0,
             root_done: false,
             next_preorder: 0,
             events: 0,
             nodes_total: 0,
-            physical_visits: 0,
             peak_depth: 0,
             peak_frames: 0,
         }
@@ -242,136 +234,19 @@ impl<'a> StreamHype<'a> {
         let label = self.labels.intern(name);
         if self.labels.len() > self.known_labels {
             self.known_labels = self.labels.len();
-            for rt in &mut self.runtimes {
-                rt.extend_labels(&self.labels);
-            }
+            self.core.extend_labels(&self.labels);
         }
 
-        // Decide which queries have work at this element — the exact
-        // per-child pending computation of the tree engine's shared descent.
-        let mut pending: Vec<PendingWork> = Vec::new();
-        if let Some(parent) = self.frames.last() {
-            for (parent_slot, local) in parent.locals.iter().enumerate() {
-                let rt = &mut self.runtimes[local.query];
-                let nfa = rt.mfa.nfa();
-                let mut entry_c: Vec<StateId> = Vec::new();
-                for &s in &local.mstates {
-                    for &(t, tgt) in &nfa.state(s).trans {
-                        if rt.label_map.matches(t, label) && !entry_c.contains(&tgt) {
-                            entry_c.push(tgt);
-                        }
-                    }
-                }
-                let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
-                for &(afa, q) in &local.closure {
-                    if let AfaState::Trans(t, tgt) = rt.mfa.afa(afa).state(q) {
-                        if rt.label_map.matches(*t, label) && !requests_c.contains(&(afa, *tgt)) {
-                            requests_c.push((afa, *tgt));
-                        }
-                    }
-                }
-                if entry_c.is_empty() && requests_c.is_empty() {
-                    continue; // basic pruning: nothing can happen below
-                }
-                if rt.can_skip_subtree(label, &entry_c, &requests_c) {
-                    continue; // index pruning: all pending filter values are false
-                }
-                pending.push(PendingWork {
-                    query: local.query,
-                    parent_slot: Some(parent_slot),
-                    entry_states: entry_c,
-                    requests: requests_c,
-                    parent_vertices: Rc::clone(&local.my_vertices),
-                });
-            }
-        } else {
-            // The document root: every query starts here with its NFA start
-            // state and no pending filter requests.
-            for (query, rt) in self.runtimes.iter().enumerate() {
-                pending.push(PendingWork {
-                    query,
-                    parent_slot: None,
-                    entry_states: vec![rt.mfa.nfa().start()],
-                    requests: Vec::new(),
-                    parent_vertices: Rc::new(Vec::new()),
-                });
-            }
-        }
-
-        if pending.is_empty() {
+        if !self.core.open(node, label) {
+            // Every query pruned this subtree (or none was pending): drain
+            // its events with a depth counter and zero per-query work.
             self.skip_depth = 1;
             return;
         }
-        self.physical_visits += 1;
-
-        // Per-query front half: vertices, ε edges, parent edges, request
-        // closure — identical to the tree engine's bookkeeping.
-        let mut locals: Vec<StreamLocal> = Vec::with_capacity(pending.len());
-        for work in pending {
-            let rt = &mut self.runtimes[work.query];
-            rt.stats.nodes_visited += 1;
-            let nfa = rt.mfa.nfa();
-            let mstates = nfa.eps_closure(&work.entry_states);
-
-            let mut vertex_of =
-                std::collections::HashMap::with_capacity(mstates.len());
-            for &s in &mstates {
-                let idx = rt.cans.len() as u32;
-                rt.cans.push(CansVertex {
-                    node,
-                    is_final: nfa.state(s).is_final,
-                    valid: true,
-                    edges: Vec::new(),
-                });
-                vertex_of.insert(s, idx);
-            }
-            for &s in &mstates {
-                let from = vertex_of[&s];
-                for &t in &nfa.state(s).eps {
-                    if let Some(&to) = vertex_of.get(&t) {
-                        rt.cans[from as usize].edges.push(to);
-                    }
-                }
-            }
-            for &(sp, vp) in work.parent_vertices.iter() {
-                for &(t, tgt) in &nfa.state(sp).trans {
-                    if rt.label_map.matches(t, label) {
-                        if let Some(&to) = vertex_of.get(&tgt) {
-                            rt.cans[vp as usize].edges.push(to);
-                        }
-                    }
-                }
-            }
-
-            let mut request_set: std::collections::BTreeSet<(AfaId, AfaStateId)> =
-                work.requests.into_iter().collect();
-            for &s in &mstates {
-                if let Some(afa) = nfa.state(s).afa {
-                    request_set.insert((afa, rt.mfa.afa(afa).start()));
-                }
-            }
-            let closure = rt.close_requests(request_set);
-
-            let my_vertices: Rc<Vec<(StateId, u32)>> =
-                Rc::new(mstates.iter().map(|&s| (s, vertex_of[&s])).collect());
-            locals.push(StreamLocal {
-                query: work.query,
-                parent_slot: work.parent_slot,
-                entry_states: work.entry_states,
-                mstates,
-                vertex_of,
-                closure,
-                my_vertices,
-                child_values: Vec::new(),
-            });
-        }
-
-        self.frames.push(Frame {
-            label,
-            text: None,
-            locals,
-        });
-        self.peak_frames = self.peak_frames.max(self.frames.len());
+        self.peak_frames = self.peak_frames.max(self.core.frame_count());
+        let mut entry = self.spare_texts.pop().unwrap_or_default();
+        entry.has = false;
+        self.texts.push(entry);
     }
 
     /// Pushes a text event for the innermost open element. A later text run
@@ -382,8 +257,10 @@ impl<'a> StreamHype<'a> {
         if self.skip_depth > 0 {
             return;
         }
-        if let Some(frame) = self.frames.last_mut() {
-            frame.text = Some(text.into());
+        if let Some(entry) = self.texts.last_mut() {
+            entry.has = true;
+            entry.buf.clear();
+            entry.buf.push_str(text);
         }
     }
 
@@ -402,38 +279,17 @@ impl<'a> StreamHype<'a> {
             self.skip_depth -= 1;
             return;
         }
-        let frame = self.frames.pop().expect("a work frame exists when not skipping");
-        for local in frame.locals {
-            let rt = &mut self.runtimes[local.query];
-            let values =
-                rt.compute_values(frame.text.as_deref(), &local.closure, &local.child_values);
-            for &s in &local.mstates {
-                if let Some(afa) = rt.mfa.nfa().state(s).afa {
-                    let holds = values
-                        .get(&(afa, rt.mfa.afa(afa).start()))
-                        .copied()
-                        .unwrap_or(false);
-                    if !holds {
-                        rt.cans[local.vertex_of[&s] as usize].valid = false;
-                    }
-                }
-            }
-            match local.parent_slot {
-                Some(parent_slot) => {
-                    let parent = self.frames.last_mut().expect("non-root frame has a parent");
-                    parent.locals[parent_slot]
-                        .child_values
-                        .push((frame.label, values));
-                }
-                None => {
-                    self.init_of[local.query] = local
-                        .entry_states
-                        .iter()
-                        .filter_map(|s| local.vertex_of.get(s).copied())
-                        .collect();
-                }
-            }
-        }
+        let entry = self
+            .texts
+            .pop()
+            .expect("a work frame exists when not skipping");
+        let text = if entry.has {
+            Some(entry.buf.as_str())
+        } else {
+            None
+        };
+        self.core.close(text);
+        self.spare_texts.push(entry);
         if self.depth == 0 {
             self.root_done = true;
         }
@@ -445,29 +301,20 @@ impl<'a> StreamHype<'a> {
     /// Panics if elements are still open (the event sequence was truncated).
     pub fn finish(self) -> StreamResult {
         assert!(
-            self.depth == 0 && self.frames.is_empty(),
+            self.depth == 0 && self.core.frame_count() == 0,
             "finish() with {} unbalanced open element(s)",
             self.depth
         );
-        let queries = self.runtimes.len();
-        let mut results = Vec::with_capacity(queries);
-        let mut sequential_node_visits = 0;
-        for (query, rt) in self.runtimes.into_iter().enumerate() {
-            let answers = collect_answers(&rt.cans, &self.init_of[query]);
-            let mut stats = rt.stats;
-            stats.nodes_total = self.nodes_total;
-            stats.cans_vertices = rt.cans.len();
-            stats.cans_edges = rt.cans.iter().map(|v| v.edges.len()).sum();
-            sequential_node_visits += stats.nodes_visited;
-            results.push(HypeResult { answers, stats });
-        }
+        let queries = self.core.runtimes.len();
+        let (results, nodes_visited, sequential_node_visits) =
+            self.core.into_results(self.nodes_total);
         StreamResult {
             results,
             stats: StreamStats {
                 queries,
                 events: self.events,
                 nodes_total: self.nodes_total,
-                nodes_visited: self.physical_visits,
+                nodes_visited,
                 sequential_node_visits,
                 peak_depth: self.peak_depth,
                 peak_frames: self.peak_frames,
@@ -478,17 +325,8 @@ impl<'a> StreamHype<'a> {
     /// Current number of live work frames (for observability; bounded by
     /// the element nesting depth).
     pub fn live_frames(&self) -> usize {
-        self.frames.len()
+        self.core.frame_count()
     }
-}
-
-/// One query's pending work at an element about to get a frame.
-struct PendingWork {
-    query: usize,
-    parent_slot: Option<usize>,
-    entry_states: Vec<StateId>,
-    requests: Vec<(AfaId, AfaStateId)>,
-    parent_vertices: Rc<Vec<(StateId, u32)>>,
 }
 
 /// Evaluates `mfa` over the events of `source` with plain streaming HyPE,

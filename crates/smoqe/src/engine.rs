@@ -4,12 +4,13 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::io::Read;
+use std::sync::Arc;
 
-use smoqe_automata::Mfa;
-use smoqe_hype::{BatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamStats};
+use smoqe_automata::{CompiledMfa, Mfa};
+use smoqe_hype::{CompiledBatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamStats};
 use smoqe_rewrite::{rewrite_to_mfa, RewriteError};
 use smoqe_views::{hospital_view, ViewDefinition, ViewError};
-use smoqe_xml::{Dtd, NodeId, ParseError, XmlStreamReader, XmlTree};
+use smoqe_xml::{Dtd, LabelInterner, NodeId, ParseError, XmlStreamReader, XmlTree};
 use smoqe_xpath::{parse_path, ParseQueryError, Path};
 
 /// Errors surfaced by the engine API.
@@ -71,33 +72,50 @@ pub enum EvaluationMode {
     OptHyPEC,
 }
 
-/// A query compiled (and, for view queries, rewritten) into an MFA, ready to
-/// be evaluated over documents any number of times.
+/// A query compiled (and, for view queries, rewritten) into an MFA — plus
+/// its [`CompiledMfa`] execution IR, built once here so every later
+/// evaluation runs on the dense bitset representation — ready to be
+/// evaluated over documents any number of times.
 #[derive(Debug, Clone)]
 pub struct CompiledQuery {
     original: Path,
     mfa: Mfa,
+    compiled: Arc<CompiledMfa>,
 }
 
 impl CompiledQuery {
+    fn from_mfa(original: Path, mfa: Mfa) -> Self {
+        let compiled = Arc::new(CompiledMfa::new(&mfa));
+        CompiledQuery {
+            original,
+            mfa,
+            compiled,
+        }
+    }
+
     /// The query as parsed.
     pub fn query(&self) -> &Path {
         &self.original
     }
 
-    /// The compiled automaton.
+    /// The compiled automaton (builder representation).
     pub fn mfa(&self) -> &Mfa {
         &self.mfa
     }
 
+    /// The execution IR the evaluators run on, shareable across threads.
+    pub fn compiled(&self) -> &Arc<CompiledMfa> {
+        &self.compiled
+    }
+
     /// Evaluates the query at the root of `doc` with plain HyPE.
     pub fn evaluate(&self, doc: &XmlTree) -> HypeResult {
-        smoqe_hype::evaluate(doc, &self.mfa)
+        smoqe_hype::evaluate_compiled(doc, &self.compiled)
     }
 
     /// Evaluates at an arbitrary context node.
     pub fn evaluate_at(&self, doc: &XmlTree, context: NodeId) -> HypeResult {
-        smoqe_hype::evaluate_at(doc, context, &self.mfa)
+        smoqe_hype::evaluate_compiled_at_with(doc, context, &self.compiled, None)
     }
 
     /// Evaluates the query over a **streamed** XML document read from
@@ -110,17 +128,17 @@ impl CompiledQuery {
         input: impl Read,
     ) -> Result<(HypeResult, StreamStats), EngineError> {
         let mut reader = XmlStreamReader::new(input);
-        Ok(smoqe_hype::evaluate_stream(&mut reader, &self.mfa)?)
+        let query = CompiledBatchQuery::new(Arc::clone(&self.compiled));
+        let mut out = StreamHype::from_compiled(&[query], LabelInterner::new())
+            .run(&mut reader)?;
+        let result = out.results.pop().expect("one result per query");
+        Ok((result, out.stats))
     }
 
     /// Builds the OptHyPE(-C) index for documents of `document_dtd` that use
     /// `doc`'s label interner.
     pub fn build_index(&self, document_dtd: &Dtd, doc: &XmlTree, compressed: bool) -> ReachabilityIndex {
-        if compressed {
-            ReachabilityIndex::new_compressed(&self.mfa, document_dtd, doc.labels())
-        } else {
-            ReachabilityIndex::new(&self.mfa, document_dtd, doc.labels())
-        }
+        ReachabilityIndex::for_compiled(&self.compiled, document_dtd, doc.labels(), compressed)
     }
 
     /// Evaluates with the requested HyPE variant, building the index on the
@@ -132,14 +150,14 @@ impl CompiledQuery {
         mode: EvaluationMode,
     ) -> HypeResult {
         match mode {
-            EvaluationMode::HyPE => smoqe_hype::evaluate(doc, &self.mfa),
+            EvaluationMode::HyPE => self.evaluate(doc),
             EvaluationMode::OptHyPE => {
                 let index = self.build_index(document_dtd, doc, false);
-                smoqe_hype::evaluate_with_index(doc, &self.mfa, &index)
+                smoqe_hype::evaluate_compiled_at_with(doc, doc.root(), &self.compiled, Some(&index))
             }
             EvaluationMode::OptHyPEC => {
                 let index = self.build_index(document_dtd, doc, true);
-                smoqe_hype::evaluate_with_index(doc, &self.mfa, &index)
+                smoqe_hype::evaluate_compiled_at_with(doc, doc.root(), &self.compiled, Some(&index))
             }
         }
     }
@@ -185,10 +203,7 @@ impl SmoqeEngine {
     /// Rewrites an already-parsed query posed on the view.
     pub fn compile_path(&self, query: &Path) -> Result<CompiledQuery, EngineError> {
         let mfa = rewrite_to_mfa(query, &self.view)?;
-        Ok(CompiledQuery {
-            original: query.clone(),
-            mfa,
-        })
+        Ok(CompiledQuery::from_mfa(query.clone(), mfa))
     }
 
     /// One-shot convenience: parse, rewrite and evaluate `query` over `doc`,
@@ -245,9 +260,12 @@ impl SmoqeEngine {
             .iter()
             .map(|q| self.compile(q))
             .collect::<Result<_, _>>()?;
-        let batch: Vec<BatchQuery> = compiled.iter().map(|c| BatchQuery::new(c.mfa())).collect();
+        let batch: Vec<CompiledBatchQuery> = compiled
+            .iter()
+            .map(|c| CompiledBatchQuery::new(Arc::clone(c.compiled())))
+            .collect();
         let mut reader = XmlStreamReader::new(input);
-        Ok(StreamHype::new(&batch).run(&mut reader)?)
+        Ok(StreamHype::from_compiled(&batch, LabelInterner::new()).run(&mut reader)?)
     }
 }
 
@@ -266,10 +284,7 @@ impl RegularXPathEngine {
 
     /// Compiles an already-parsed regular XPath query.
     pub fn compile_path(query: &Path) -> CompiledQuery {
-        CompiledQuery {
-            original: query.clone(),
-            mfa: smoqe_automata::compile_query(query),
-        }
+        CompiledQuery::from_mfa(query.clone(), smoqe_automata::compile_query(query))
     }
 }
 

@@ -9,7 +9,10 @@
 //! * a bounded **LRU compiled-query cache** keyed by
 //!   `(view fingerprint, normalized query text)` — `./patient` and
 //!   `patient` share one entry, and views with identical definitions share
-//!   keys across service instances;
+//!   keys across service instances. A cached entry carries both the
+//!   rewritten MFA and its `Arc<CompiledMfa>` execution IR, so a hit skips
+//!   the rewrite *and* the IR compilation and goes straight to the bitset
+//!   engines;
 //! * a bounded **reachability-index cache** keyed by
 //!   `(normalized query, document-label fingerprint, compressed?)`, so the
 //!   OptHyPE(-C) index for a (query, document family) pair is built once;
@@ -25,7 +28,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use smoqe_hype::{
-    BatchQuery, BatchResult, HypeResult, ReachabilityIndex, StreamHype, StreamResult, StreamStats,
+    BatchResult, CompiledBatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamResult,
+    StreamStats,
 };
 use smoqe_views::ViewDefinition;
 use smoqe_xml::{LabelInterner, XmlStreamReader, XmlTree};
@@ -259,7 +263,9 @@ impl QueryService {
         index
     }
 
-    /// Answers `query` over `doc` with `mode`, hitting both caches.
+    /// Answers `query` over `doc` with `mode`, hitting both caches. A
+    /// cache hit skips the rewrite **and** the execution-IR compilation:
+    /// the cached [`CompiledQuery`] carries its `Arc<CompiledMfa>`.
     pub fn evaluate(
         &self,
         query: &str,
@@ -268,14 +274,24 @@ impl QueryService {
     ) -> Result<HypeResult, EngineError> {
         let compiled = self.compile(query)?;
         Ok(match mode {
-            EvaluationMode::HyPE => smoqe_hype::evaluate(doc, compiled.mfa()),
+            EvaluationMode::HyPE => compiled.evaluate(doc),
             EvaluationMode::OptHyPE => {
                 let index = self.index_for(&compiled, doc, false);
-                smoqe_hype::evaluate_with_index(doc, compiled.mfa(), &index)
+                smoqe_hype::evaluate_compiled_at_with(
+                    doc,
+                    doc.root(),
+                    compiled.compiled(),
+                    Some(&index),
+                )
             }
             EvaluationMode::OptHyPEC => {
                 let index = self.index_for(&compiled, doc, true);
-                smoqe_hype::evaluate_with_index(doc, compiled.mfa(), &index)
+                smoqe_hype::evaluate_compiled_at_with(
+                    doc,
+                    doc.root(),
+                    compiled.compiled(),
+                    Some(&index),
+                )
             }
         })
     }
@@ -330,15 +346,15 @@ impl QueryService {
                 .map(|c| Some(self.index_for(c, doc, true)))
                 .collect(),
         };
-        let batch: Vec<BatchQuery> = unique
+        let batch: Vec<CompiledBatchQuery> = unique
             .iter()
             .zip(&indexes)
-            .map(|(c, i)| BatchQuery {
-                mfa: c.mfa(),
+            .map(|(c, i)| CompiledBatchQuery {
+                compiled: Arc::clone(c.compiled()),
                 index: i.as_deref(),
             })
             .collect();
-        let result = smoqe_hype::evaluate_batch(doc, &batch);
+        let result = smoqe_hype::evaluate_batch_compiled(doc, &batch);
         let results = slot_of
             .into_iter()
             .map(|slot| result.results[slot].clone())
@@ -389,9 +405,12 @@ impl QueryService {
                 });
             slot_of.push(slot);
         }
-        let batch: Vec<BatchQuery> = unique.iter().map(|c| BatchQuery::new(c.mfa())).collect();
+        let batch: Vec<CompiledBatchQuery> = unique
+            .iter()
+            .map(|c| CompiledBatchQuery::new(Arc::clone(c.compiled())))
+            .collect();
         let mut reader = XmlStreamReader::new(input);
-        let result = StreamHype::new(&batch).run(&mut reader)?;
+        let result = StreamHype::from_compiled(&batch, LabelInterner::new()).run(&mut reader)?;
         let results = slot_of
             .into_iter()
             .map(|slot| result.results[slot].clone())
