@@ -297,6 +297,19 @@ pub struct CompiledMfa {
     slots: u32,
 }
 
+// The IR is handed out as `Arc<CompiledMfa>` and read concurrently by the
+// parallel evaluator's worker threads and by every thread sharing a
+// `smoqe::QueryService`. Its thread-safety is structural — immutable owned
+// tables, no interior mutability — and this assertion turns any future
+// field that would silently revoke `Send + Sync` (an `Rc`, a `Cell`, a
+// lazily-filled cache) into a compile error here rather than a distant
+// type error in a consumer crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledMfa>();
+    assert_send_sync::<ColumnMap>();
+};
+
 impl CompiledMfa {
     /// Compiles `mfa` into the execution IR.
     pub fn new(mfa: &Mfa) -> Self {

@@ -237,8 +237,9 @@ pub fn evaluate_batch_compiled_at(
 /// The recursive tree driver of the shared core: open the node (the core
 /// decides per query whether it has work, pruning exactly as a solo run
 /// would), descend into the children only when some query kept the subtree
-/// alive, and close bottom-up.
-fn walk(core: &mut HypeCore, tree: &XmlTree, node: NodeId) {
+/// alive, and close bottom-up. Also drives each shard of a parallel run
+/// ([`crate::parallel`]), whose cores are seeded with the context frame.
+pub(crate) fn walk(core: &mut HypeCore, tree: &XmlTree, node: NodeId) {
     if !core.open(node, tree.label(node)) {
         return; // every query pruned the subtree: the moral "do not recurse"
     }

@@ -36,6 +36,17 @@
 //! would produce. The solo entry points are the 1-query special case of the
 //! batched engine.
 //!
+//! When a single document is large and latency matters, the [`parallel`]
+//! module spreads one (or one batch of) compiled evaluation across a pool
+//! of scoped threads: the top-level subtrees under the evaluation context
+//! are sharded over `min(threads, subtrees)` workers ([`evaluate_parallel`],
+//! [`evaluate_batch_parallel`]), each running the unchanged sequential
+//! per-node logic with private scratch, and the per-shard artefacts are
+//! merged deterministically — answers in pre-order index order, statistics
+//! as exact sums — so the results are **bit-identical to the sequential
+//! engines** at every thread budget (a guarantee the
+//! `parallel_differential` suite enforces).
+//!
 //! Finally, the [`stream`] module removes the remaining memory dependency
 //! on the document: [`StreamHype`] is a stack-machine port of the same pass
 //! driven by the `Open`/`Text`/`Close` events of `smoqe_xml::stream`,
@@ -68,12 +79,17 @@ pub mod batch;
 pub mod engine;
 pub mod index;
 pub mod interpreted;
+pub mod parallel;
 mod runtime;
 pub mod stream;
 
 pub use batch::{
     evaluate_batch, evaluate_batch_at, evaluate_batch_compiled, evaluate_batch_compiled_at,
     BatchQuery, BatchResult, BatchStats, CompiledBatchQuery,
+};
+pub use parallel::{
+    evaluate_batch_parallel, evaluate_batch_parallel_at, evaluate_parallel,
+    evaluate_parallel_at_with,
 };
 pub use engine::{
     evaluate, evaluate_at, evaluate_at_with, evaluate_compiled, evaluate_compiled_at_with,

@@ -1,0 +1,512 @@
+//! Parallel sharded HyPE evaluation: the batched compiled engine spread
+//! across a pool of scoped threads, with answers and statistics
+//! **bit-identical** to the sequential engines.
+//!
+//! ## Sharding strategy
+//!
+//! A HyPE pass is a single DFS whose only cross-subtree coupling sits at
+//! the evaluation context: the context frame's pending states are fixed
+//! *before* any child is visited, children communicate with the context
+//! exclusively by OR-ing their filter-value rows into its accumulators
+//! (commutative, order-free), and every candidate-DAG edge points strictly
+//! downwards. The top-level subtrees under the context are therefore
+//! embarrassingly parallel:
+//!
+//! 1. the calling thread opens the context node exactly as the sequential
+//!    engine does and snapshots the context frame;
+//! 2. each child subtree becomes one **shard**, claimed off a shared
+//!    atomic counter by `min(threads, shards)` workers under
+//!    [`std::thread::scope`] — no thread pool dependency, no `'static`
+//!    bounds, and natural work stealing when subtree sizes are skewed;
+//! 3. each worker replays the context frame **once** into a private core
+//!    (one label-column map, pruning-table set and scratch pool per
+//!    *worker*, so setup cost scales with the worker count even on
+//!    documents with enormous fan-out, and the hot path stays
+//!    allocation-free per node) and runs the **unchanged** sequential
+//!    `open`/`close` logic over every subtree it claims — including
+//!    per-query basic and OptHyPE(-C) pruning;
+//! 4. the main thread ORs every worker's accumulator rows back into the
+//!    real context frame, closes the context, and merges.
+//!
+//! ## Determinism guarantee
+//!
+//! Each per-query artefact is merged exactly, not approximately:
+//!
+//! * **Answers** — every worker's arena keeps the context vertices as its
+//!   first `k` ids, so the sequential DAG is the disjoint union of the
+//!   context block and the worker arenas glued at those shared ids. Answer
+//!   collection runs the context block first, then seeds every worker
+//!   arena with the reached context vertices; the union (a `BTreeSet` over
+//!   pre-order [`NodeId`]s) is the sequential answer set in pre-order
+//!   index order, whatever order shards were claimed or finished in.
+//! * **[`HypeStats`](crate::HypeStats)** — every counter is a sum of per-node contributions
+//!   that depend only on that query's own state at the node, so summing
+//!   context + shards reproduces the sequential numbers exactly; the
+//!   differential suite (`tests/tests/parallel_differential.rs`) asserts
+//!   equality for answers *and* statistics at several thread budgets.
+//! * **[`BatchStats`]** — all queries of a batch travel *together* through
+//!   every shard (a shard node is physically visited once however many
+//!   queries are pending there), preserving the shared-traversal semantics
+//!   of [`BatchStats::nodes_visited`]. Batched runs additionally
+//!   parallelize **across queries** in the merge phase: each query's
+//!   DAG collection is independent and is distributed over the same thread
+//!   budget.
+//!
+//! ## Thread budget
+//!
+//! Every entry point takes a `threads` knob: `0` means "all available
+//! cores" ([`std::thread::available_parallelism`]), `1` degenerates to a
+//! sequential execution *through the shard split/merge machinery* (so a
+//! budget of one is a correctness vise for the merge itself, not a separate
+//! code path), and larger budgets are capped by the shard count. Workers
+//! are spawned per evaluation; for a few top-level subtrees of a parsed
+//! document the spawn cost is noise next to the traversal.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use smoqe_automata::CompiledMfa;
+use smoqe_xml::{NodeId, XmlTree};
+
+use crate::batch::{walk, BatchResult, BatchStats, CompiledBatchQuery};
+use crate::engine::{HypeResult, HypeStats};
+use crate::index::ReachabilityIndex;
+use crate::runtime::{
+    collect_answers, collect_answers_and_reached, CollectScratch, ContextBlock, ContextSeed,
+    HypeCore, QueryRuntime, ShardQueryOutput,
+};
+
+// The parallel evaluator shares these across worker threads by reference;
+// losing `Sync` on any of them must fail to compile right here rather than
+// in a distant caller.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<XmlTree>();
+    assert_sync::<CompiledMfa>();
+    assert_sync::<ReachabilityIndex>();
+    assert_sync::<CompiledBatchQuery<'static>>();
+};
+
+/// Resolves a thread-budget knob: `0` means all available cores.
+fn resolve_threads(budget: usize) -> usize {
+    if budget == 0 {
+        thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        budget
+    }
+}
+
+/// One worker's outputs: per-query artefacts covering every shard the
+/// worker claimed, plus the worker's physical visit count. Which child
+/// lands on which worker is scheduling-dependent, but the merge only ever
+/// sums counters, ORs bitset rows and unions ordered sets — all
+/// commutative — so the result is deterministic regardless.
+struct WorkerResult {
+    queries: Vec<ShardQueryOutput>,
+    physical_visits: usize,
+}
+
+/// Evaluates a pre-compiled query at the root of `tree` with plain HyPE,
+/// sharding the root's subtrees over up to `threads` worker threads.
+///
+/// The result — answers *and* [`HypeStats`](crate::HypeStats) — is identical to
+/// [`crate::evaluate_compiled`] at every thread budget:
+///
+/// ```
+/// use std::sync::Arc;
+/// use smoqe_automata::{compile_query, CompiledMfa};
+/// use smoqe_hype::{evaluate_compiled, evaluate_parallel};
+/// use smoqe_xml::XmlTreeBuilder;
+/// use smoqe_xpath::parse_path;
+///
+/// let mut b = XmlTreeBuilder::new();
+/// let root = b.root("hospital");
+/// for name in ["Alice", "Bob"] {
+///     let p = b.child(root, "patient");
+///     b.child_with_text(p, "pname", name);
+/// }
+/// let doc = b.finish();
+///
+/// let ir = Arc::new(CompiledMfa::new(&compile_query(&parse_path("patient/pname").unwrap())));
+/// let sequential = evaluate_compiled(&doc, &ir);
+/// let parallel = evaluate_parallel(&doc, &ir, 4);
+/// assert_eq!(parallel.answers, sequential.answers);
+/// assert_eq!(parallel.stats, sequential.stats);
+/// ```
+pub fn evaluate_parallel(tree: &XmlTree, compiled: &Arc<CompiledMfa>, threads: usize) -> HypeResult {
+    evaluate_parallel_at_with(tree, tree.root(), compiled, None, threads)
+}
+
+/// Evaluates a pre-compiled query at `context`, optionally with an
+/// OptHyPE(-C) index, sharding `context`'s subtrees over up to `threads`
+/// workers — the parallel counterpart of
+/// [`crate::evaluate_compiled_at_with`].
+pub fn evaluate_parallel_at_with(
+    tree: &XmlTree,
+    context: NodeId,
+    compiled: &Arc<CompiledMfa>,
+    index: Option<&ReachabilityIndex>,
+    threads: usize,
+) -> HypeResult {
+    let query = CompiledBatchQuery {
+        compiled: Arc::clone(compiled),
+        index,
+    };
+    let mut batch = evaluate_batch_parallel_at(tree, context, &[query], threads);
+    batch.results.pop().expect("one result per query")
+}
+
+/// Evaluates every query of `queries` at the root of `tree`, sharding the
+/// traversal over up to `threads` workers — the parallel counterpart of
+/// [`crate::evaluate_batch_compiled`].
+pub fn evaluate_batch_parallel(
+    tree: &XmlTree,
+    queries: &[CompiledBatchQuery],
+    threads: usize,
+) -> BatchResult {
+    evaluate_batch_parallel_at(tree, tree.root(), queries, threads)
+}
+
+/// Evaluates every query of `queries` at `context`, sharding the traversal
+/// over up to `threads` workers. Per-query results *and* the aggregate
+/// [`BatchStats`] are identical to [`crate::evaluate_batch_compiled_at`]
+/// at every thread budget.
+pub fn evaluate_batch_parallel_at(
+    tree: &XmlTree,
+    context: NodeId,
+    queries: &[CompiledBatchQuery],
+    threads: usize,
+) -> BatchResult {
+    let nodes_total = tree.subtree_size(context);
+    if queries.is_empty() {
+        return BatchResult {
+            results: Vec::new(),
+            stats: BatchStats {
+                queries: 0,
+                nodes_total,
+                nodes_visited: 0,
+                sequential_node_visits: 0,
+            },
+        };
+    }
+    let threads = resolve_threads(threads);
+
+    // Open the evaluation context on the calling thread, exactly as the
+    // sequential engine would (vertices, ε edges, λ triggers, statistics).
+    let runtimes: Vec<QueryRuntime> = queries
+        .iter()
+        .map(|q| QueryRuntime::new(tree.labels(), Arc::clone(&q.compiled), q.index))
+        .collect();
+    let mut core = HypeCore::new(runtimes);
+    let opened = core.open(context, tree.label(context));
+    debug_assert!(opened, "the evaluation context is never pruned");
+    let seeds = core.context_seeds();
+
+    // Walk every top-level subtree in its own shard.
+    let shards = run_shards(tree, context, queries, &seeds, threads);
+
+    // Fold the shards' value rows into the real context frame (OR is
+    // order-free) and close the context bottom-up as usual.
+    for shard in &shards {
+        for (query, sq) in shard.queries.iter().enumerate() {
+            core.absorb_child_values(query, &sq.acc_any, &sq.acc);
+        }
+    }
+    core.close(tree.text(context));
+    let (blocks, context_physical) = core.into_context_parts();
+
+    // Per-query merge + answer collection, parallel across queries.
+    let results = finalize_queries(blocks, &shards, nodes_total, threads);
+
+    let nodes_visited =
+        context_physical + shards.iter().map(|s| s.physical_visits).sum::<usize>();
+    let sequential_node_visits = results.iter().map(|r| r.stats.nodes_visited).sum();
+    BatchResult {
+        results,
+        stats: BatchStats {
+            queries: queries.len(),
+            nodes_total,
+            nodes_visited,
+            sequential_node_visits,
+        },
+    }
+}
+
+/// One worker's whole run: a single private core — one `QueryRuntime` set
+/// (ColumnMap, scratch pools, pruning tables) built per *worker*, not per
+/// shard — seeded with the context frame once, then fed every child
+/// subtree the worker claims off the shared counter. Walking several
+/// children under one seeded context frame is exactly what the sequential
+/// walk does, so per-query artefacts stay bit-exact while setup cost
+/// scales with the worker count, not the (possibly huge) child count.
+fn run_worker(
+    tree: &XmlTree,
+    context: NodeId,
+    queries: &[CompiledBatchQuery],
+    seeds: &[ContextSeed],
+    children: &[NodeId],
+    next: &AtomicUsize,
+) -> WorkerResult {
+    let runtimes: Vec<QueryRuntime> = queries
+        .iter()
+        .map(|q| QueryRuntime::new(tree.labels(), Arc::clone(&q.compiled), q.index))
+        .collect();
+    let mut core = HypeCore::new(runtimes);
+    core.seed_context_frame(context, seeds);
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&child) = children.get(i) else {
+            break;
+        };
+        walk(&mut core, tree, child);
+    }
+    let (queries, physical_visits) = core.into_shard_outputs();
+    WorkerResult {
+        queries,
+        physical_visits,
+    }
+}
+
+/// Shards the context's children over up to `threads` scoped workers
+/// (work-stolen off a shared counter) and collects the per-worker outputs.
+fn run_shards(
+    tree: &XmlTree,
+    context: NodeId,
+    queries: &[CompiledBatchQuery],
+    seeds: &[ContextSeed],
+    threads: usize,
+) -> Vec<WorkerResult> {
+    let children = tree.children(context);
+    if children.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.min(children.len());
+    claim_parallel(workers, |next| {
+        run_worker(tree, context, queries, seeds, children, next)
+    })
+}
+
+/// The shared worker scaffold of the traversal and finalize phases: runs
+/// `worker` once per worker slot, handing each the claim counter the
+/// bodies pull work-item indices from. One worker runs inline (budget 1
+/// exercises the same code path, unspawned); panics inside a spawned
+/// worker are re-raised on the calling thread after all workers joined.
+fn claim_parallel<T: Send>(
+    workers: usize,
+    worker: impl Fn(&AtomicUsize) -> T + Sync,
+) -> Vec<T> {
+    let next = AtomicUsize::new(0);
+    if workers <= 1 {
+        return vec![worker(&next)];
+    }
+    let mut collected = Vec::with_capacity(workers);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let worker = &worker;
+                scope.spawn(move || worker(next))
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(result) => collected.push(result),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    collected
+}
+
+/// Merges one query: answers collected over the context block first (also
+/// yielding the reached context vertices), then over every shard seeded
+/// with that reached set; statistics summed exactly.
+fn finalize_one(
+    block: ContextBlock,
+    query: usize,
+    shards: &[WorkerResult],
+    nodes_total: usize,
+    scratch: &mut CollectScratch,
+) -> HypeResult {
+    let context_vertices = block.cans.len();
+    let (mut answers, reached) =
+        collect_answers_and_reached(&block.cans, &block.edges, &block.init, scratch);
+    let mut stats = block.stats;
+    stats.nodes_total = nodes_total;
+    stats.cans_vertices = context_vertices;
+    stats.cans_edges = block.edges.len();
+    for shard in shards {
+        let sq = &shard.queries[query];
+        debug_assert_eq!(sq.context_vertices as usize, context_vertices);
+        // Destructured so adding a counter to `HypeStats` fails to compile
+        // here instead of being silently dropped from parallel results.
+        // The two DAG-size counters are derived from the arenas (the shard
+        // core never finalises them); `nodes_total` is context-wide.
+        let HypeStats {
+            nodes_total: _,
+            nodes_visited,
+            cans_vertices: _,
+            cans_edges: _,
+            afa_values_computed,
+        } = sq.stats;
+        stats.nodes_visited += nodes_visited;
+        stats.afa_values_computed += afa_values_computed;
+        stats.cans_vertices += sq.cans.len() - context_vertices;
+        stats.cans_edges += sq.edges.len();
+        answers.append(&mut collect_answers(&sq.cans, &sq.edges, &reached, scratch));
+    }
+    HypeResult { answers, stats }
+}
+
+/// Finalizes every query, distributing the per-query DAG collections over
+/// up to `threads` workers when the batch is large enough to pay for it.
+fn finalize_queries(
+    blocks: Vec<ContextBlock>,
+    shards: &[WorkerResult],
+    nodes_total: usize,
+    threads: usize,
+) -> Vec<HypeResult> {
+    let workers = threads.min(blocks.len()).max(1);
+    // Each block is consumed by exactly one worker; the Mutex<Option<..>>
+    // wrapper is what lets a worker move its claim out of the shared Vec.
+    let slots: Vec<Mutex<Option<ContextBlock>>> =
+        blocks.into_iter().map(|b| Mutex::new(Some(b))).collect();
+    let mut collected: Vec<(usize, HypeResult)> = claim_parallel(workers, |next| {
+        let mut scratch = CollectScratch::new();
+        let mut mine = Vec::new();
+        loop {
+            let q = next.fetch_add(1, Ordering::Relaxed);
+            let Some(slot) = slots.get(q) else {
+                break;
+            };
+            let block = slot
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .take()
+                .expect("each slot is claimed exactly once");
+            mine.push((q, finalize_one(block, q, shards, nodes_total, &mut scratch)));
+        }
+        mine
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    collected.sort_by_key(|&(q, _)| q);
+    collected.into_iter().map(|(_, result)| result).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::{evaluate_batch_compiled, BatchQuery};
+    use crate::engine::evaluate_compiled_at_with;
+    use smoqe_automata::compile_query;
+    use smoqe_xml::hospital::hospital_document_dtd;
+    use smoqe_xml::XmlTreeBuilder;
+    use smoqe_xpath::parse_path;
+
+    fn ir(query: &str) -> Arc<CompiledMfa> {
+        Arc::new(CompiledMfa::new(&compile_query(&parse_path(query).unwrap())))
+    }
+
+    /// A document whose root has several structurally different subtrees.
+    fn doc() -> XmlTree {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("hospital");
+        for (name, diag) in [("Alice", "heart disease"), ("Bob", "flu"), ("Carol", "heart disease")] {
+            let dept = b.child(root, "department");
+            let p = b.child(dept, "patient");
+            b.child_with_text(p, "pname", name);
+            let v = b.child(p, "visit");
+            let t = b.child(v, "treatment");
+            let m = b.child(t, "medication");
+            b.child_with_text(m, "diagnosis", diag);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn solo_matches_sequential_at_every_budget() {
+        let doc = doc();
+        for query in ["//diagnosis", "department/patient/pname", "doctor"] {
+            let compiled = ir(query);
+            let sequential = crate::evaluate_compiled(&doc, &compiled);
+            for threads in [0, 1, 2, 5, 64] {
+                let parallel = evaluate_parallel(&doc, &compiled, threads);
+                assert_eq!(parallel.answers, sequential.answers, "`{query}` @{threads}");
+                assert_eq!(parallel.stats, sequential.stats, "`{query}` @{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_including_aggregate_stats() {
+        let doc = doc();
+        let queries: Vec<CompiledBatchQuery> = ["//diagnosis", "department/patient/pname"]
+            .iter()
+            .map(|q| CompiledBatchQuery::new(ir(q)))
+            .collect();
+        let sequential = evaluate_batch_compiled(&doc, &queries);
+        for threads in [1, 2, 8] {
+            let parallel = evaluate_batch_parallel(&doc, &queries, threads);
+            assert_eq!(parallel.stats, sequential.stats, "@{threads}");
+            for (p, s) in parallel.results.iter().zip(&sequential.results) {
+                assert_eq!(p.answers, s.answers, "@{threads}");
+                assert_eq!(p.stats, s.stats, "@{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_context_has_no_shards() {
+        let doc = doc();
+        let compiled = ir("diagnosis");
+        let leaf = doc
+            .node_ids()
+            .find(|&n| doc.children(n).is_empty())
+            .expect("tree has leaves");
+        let sequential = evaluate_compiled_at_with(&doc, leaf, &compiled, None);
+        let parallel = evaluate_parallel_at_with(&doc, leaf, &compiled, None, 8);
+        assert_eq!(parallel.answers, sequential.answers);
+        assert_eq!(parallel.stats, sequential.stats);
+    }
+
+    #[test]
+    fn indexed_pruning_matches_sequential() {
+        let doc = doc();
+        let dtd = hospital_document_dtd();
+        let mfa = compile_query(&parse_path("//diagnosis").unwrap());
+        let compiled = Arc::new(CompiledMfa::new(&mfa));
+        let index = ReachabilityIndex::new(&mfa, &dtd, doc.labels());
+        let sequential = evaluate_compiled_at_with(&doc, doc.root(), &compiled, Some(&index));
+        for threads in [1, 3] {
+            let parallel =
+                evaluate_parallel_at_with(&doc, doc.root(), &compiled, Some(&index), threads);
+            assert_eq!(parallel.answers, sequential.answers, "@{threads}");
+            assert_eq!(parallel.stats, sequential.stats, "@{threads}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let doc = doc();
+        let batch = evaluate_batch_parallel(&doc, &[], 4);
+        assert!(batch.results.is_empty());
+        assert_eq!(batch.stats.queries, 0);
+        assert_eq!(batch.stats.nodes_visited, 0);
+        assert_eq!(batch.stats.nodes_total, doc.len());
+    }
+
+    #[test]
+    fn mirrors_sequential_batch_with_builder_queries() {
+        // Cross-check against the builder-MFA convenience path too.
+        let doc = doc();
+        let mfa = compile_query(&parse_path("department/patient[visit]").unwrap());
+        let sequential = crate::evaluate_batch(&doc, &[BatchQuery::new(&mfa)]);
+        let parallel =
+            evaluate_batch_parallel(&doc, &[CompiledBatchQuery::new(Arc::new(CompiledMfa::new(&mfa)))], 2);
+        assert_eq!(parallel.results[0].answers, sequential.results[0].answers);
+        assert_eq!(parallel.results[0].stats, sequential.results[0].stats);
+    }
+}

@@ -107,6 +107,38 @@ pub(crate) fn collect_answers(
     init_vertices: &[u32],
     scratch: &mut CollectScratch,
 ) -> BTreeSet<NodeId> {
+    collect_answers_impl(cans, edges, init_vertices, scratch, None)
+}
+
+/// [`collect_answers`] that also reports *which* vertices were reached.
+///
+/// The parallel evaluator runs this over the context block (whose vertices
+/// are the first `k` ids of every shard arena as well): the reached set
+/// seeds the per-shard collection, because every edge of the candidate DAG
+/// points strictly downwards — from a node's vertices to a child's — so a
+/// shard vertex is reachable from `Init` exactly when some reached context
+/// vertex has an edge into the shard.
+pub(crate) fn collect_answers_and_reached(
+    cans: &[CansVertex],
+    edges: &[(u32, u32)],
+    init_vertices: &[u32],
+    scratch: &mut CollectScratch,
+) -> (BTreeSet<NodeId>, Vec<u32>) {
+    let mut reached = Vec::new();
+    let answers = collect_answers_impl(cans, edges, init_vertices, scratch, Some(&mut reached));
+    (answers, reached)
+}
+
+/// The one traversal behind both collectors. `reached`, when supplied,
+/// records every visited vertex; passing `None` keeps the sequential hot
+/// path free of the extra vector.
+fn collect_answers_impl(
+    cans: &[CansVertex],
+    edges: &[(u32, u32)],
+    init_vertices: &[u32],
+    scratch: &mut CollectScratch,
+    mut reached: Option<&mut Vec<u32>>,
+) -> BTreeSet<NodeId> {
     let mut answers = BTreeSet::new();
     scratch.begin(cans.len());
     for &v in init_vertices {
@@ -116,6 +148,9 @@ pub(crate) fn collect_answers(
         }
     }
     while let Some(v) = scratch.stack.pop() {
+        if let Some(reached) = reached.as_deref_mut() {
+            reached.push(v);
+        }
         let vertex = &cans[v as usize];
         if vertex.is_final {
             answers.insert(vertex.node);
@@ -498,6 +533,49 @@ struct CoreFrame {
     locals: Vec<CoreLocal>,
 }
 
+/// One query's share of a context-frame snapshot: the ε-closed pending NFA
+/// states and the closed filter requests (λ triggers included) at the
+/// evaluation context, exactly as a child open would read them.
+#[derive(Debug, Clone)]
+pub(crate) struct ContextSeed {
+    query: u32,
+    mstates: Vec<u64>,
+    closure: Vec<u64>,
+}
+
+/// One query's artefacts from one shard walk (see
+/// [`HypeCore::into_shard_outputs`]).
+#[derive(Debug)]
+pub(crate) struct ShardQueryOutput {
+    /// Number of context placeholder vertices at the front of `cans`.
+    pub context_vertices: u32,
+    /// The shard arena: context placeholders, then the subtree's vertices
+    /// in the same DFS order a sequential walk would have appended them.
+    pub cans: Vec<CansVertex>,
+    /// The shard's edge pool (context→child and subtree-internal edges).
+    pub edges: Vec<(u32, u32)>,
+    /// Visit and filter-evaluation counters of the subtree only.
+    pub stats: HypeStats,
+    /// Wildcard-accumulator row for the real context frame.
+    pub acc_any: Vec<u64>,
+    /// Per-label-slot accumulator rows for the real context frame.
+    pub acc: Vec<u64>,
+}
+
+/// One query's context block from the main core of a parallel run (see
+/// [`HypeCore::into_context_parts`]).
+#[derive(Debug)]
+pub(crate) struct ContextBlock {
+    /// The context vertices (ids `0..k`, shared with every shard arena).
+    pub cans: Vec<CansVertex>,
+    /// The context's ε edges.
+    pub edges: Vec<(u32, u32)>,
+    /// The context's own counters (one visit, its filter evaluations).
+    pub stats: HypeStats,
+    /// The `Init` vertex set.
+    pub init: Vec<u32>,
+}
+
 /// The compiled evaluation core: a stack machine over `open`/`close` whose
 /// drivers are the recursive tree walk ([`crate::batch`]) and the XML event
 /// loop ([`crate::stream`]).
@@ -669,6 +747,124 @@ impl<'a> HypeCore<'a> {
             rt.free_local(local.scratch);
         }
         self.free_frames.push(frame);
+    }
+
+    // -----------------------------------------------------------------------
+    // Shard support for the parallel evaluator (`crate::parallel`).
+    //
+    // A parallel run opens the evaluation context on the calling thread,
+    // snapshots the context frame's per-query state (`context_seeds`), and
+    // hands each top-level subtree to a worker that replays the context
+    // frame into its own core (`seed_context_frame`), walks the subtree
+    // with the exact sequential `open`/`close` logic, and surrenders its
+    // per-query artefacts (`into_shard_outputs`). The main thread ORs every
+    // shard's accumulator rows back into the real context frame
+    // (`absorb_child_values`), closes the context, and merges.
+    // -----------------------------------------------------------------------
+
+    /// Snapshots the per-query state of the innermost open frame — the
+    /// evaluation context, immediately after [`Self::open`] — for seeding
+    /// shard cores. The snapshot is stable: walking children only mutates
+    /// the frame's *accumulators*, never its `mstates`/`closure`.
+    pub fn context_seeds(&self) -> Vec<ContextSeed> {
+        let frame = self.frames.last().expect("context frame is open");
+        frame
+            .locals
+            .iter()
+            .map(|l| ContextSeed {
+                query: l.query,
+                mstates: l.scratch.mstates.clone(),
+                closure: l.scratch.closure.clone(),
+            })
+            .collect()
+    }
+
+    /// Replays a context-frame snapshot into this (fresh) core, pushing one
+    /// *placeholder* vertex per pending context state into each query's
+    /// `cans` arena so shard-local vertex ids line up with the sequential
+    /// numbering (context block first, then the subtree).
+    ///
+    /// Placeholders are never answer-bearing (`is_final = false` — the main
+    /// core's real context vertices report the context node) and never
+    /// invalidated (the shard never closes the context); the context ε
+    /// edges, λ triggers, visit statistics and physical-visit count all
+    /// stay with the main core, so nothing is double-counted.
+    pub fn seed_context_frame(&mut self, node: NodeId, seeds: &[ContextSeed]) {
+        debug_assert!(self.frames.is_empty(), "seed only a fresh core");
+        debug_assert_eq!(seeds.len(), self.runtimes.len());
+        let mut frame = self.free_frames.pop().unwrap_or_default();
+        for seed in seeds {
+            let rt = &mut self.runtimes[seed.query as usize];
+            let mut sc = rt.alloc_local();
+            sc.mstates.copy_from_slice(&seed.mstates);
+            sc.closure.copy_from_slice(&seed.closure);
+            sc.vertex_base = rt.cans.len() as u32;
+            for _ in 0..bits::count(&sc.mstates) {
+                rt.cans.push(CansVertex {
+                    node,
+                    is_final: false,
+                    valid: true,
+                    edge_head: NO_EDGE,
+                });
+            }
+            frame.locals.push(CoreLocal {
+                query: seed.query,
+                parent_slot: u32::MAX,
+                slot: u32::MAX,
+                scratch: sc,
+            });
+        }
+        self.frames.push(frame);
+    }
+
+    /// ORs one shard's context-accumulator contribution for `query` into
+    /// the real context frame. OR is commutative and idempotent per bit, so
+    /// shard arrival order is irrelevant — the merged rows are bit-identical
+    /// to what a sequential walk of all children would have accumulated.
+    pub fn absorb_child_values(&mut self, query: usize, acc_any: &[u64], acc: &[u64]) {
+        let frame = self.frames.last_mut().expect("context frame is open");
+        let sc = &mut frame.locals[query].scratch;
+        bits::or_into(&mut sc.acc_any, acc_any);
+        bits::or_into(&mut sc.acc, acc);
+    }
+
+    /// Consumes a shard core after its subtree walk: pops the seeded
+    /// context frame and returns each query's shard artefacts — the `cans`
+    /// arena (context placeholders first), edge pool, statistics, and the
+    /// accumulator rows destined for the real context frame — plus the
+    /// shard's physical visit count.
+    pub fn into_shard_outputs(mut self) -> (Vec<ShardQueryOutput>, usize) {
+        let mut frame = self.frames.pop().expect("seeded context frame is open");
+        debug_assert!(self.frames.is_empty(), "subtree walk left frames open");
+        let mut out = Vec::with_capacity(self.runtimes.len());
+        for (local, rt) in frame.locals.drain(..).zip(self.runtimes) {
+            out.push(ShardQueryOutput {
+                context_vertices: bits::count(&local.scratch.mstates) as u32,
+                cans: rt.cans,
+                edges: rt.edges,
+                stats: rt.stats,
+                acc_any: local.scratch.acc_any,
+                acc: local.scratch.acc,
+            });
+        }
+        (out, self.physical_visits)
+    }
+
+    /// Consumes the main core of a parallel run after the context closed:
+    /// per query, the context-block `cans`/edges/statistics and the `Init`
+    /// vertices, plus the context's physical visit count.
+    pub fn into_context_parts(self) -> (Vec<ContextBlock>, usize) {
+        debug_assert!(self.frames.is_empty(), "context must be closed first");
+        let mut blocks = Vec::with_capacity(self.runtimes.len());
+        for (query, rt) in self.runtimes.into_iter().enumerate() {
+            blocks.push(ContextBlock {
+                cans: rt.cans,
+                edges: rt.edges,
+                stats: rt.stats,
+                init: self.init_of[query].clone(),
+            });
+        }
+        (blocks, self.physical_visits)
     }
 
     /// Consumes the core: collects each query's answers from its `cans` DAG

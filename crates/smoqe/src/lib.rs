@@ -20,7 +20,13 @@
 //! documents — the [`QueryService`] front-end adds an LRU compiled-query
 //! cache (keyed by view fingerprint and normalized query text), a shared
 //! reachability-index cache, and batched evaluation that answers N queries
-//! in a single HyPE pass ([`smoqe_hype::evaluate_batch`]).
+//! in a single HyPE pass ([`smoqe_hype::evaluate_batch`]). The service is
+//! `Send + Sync` — its caches are segmented, independently locked LRUs
+//! ([`lru::ShardedLru`]), so one instance serves many threads — and its
+//! `*_parallel` front-ends ([`QueryService::answer_parallel`],
+//! [`QueryService::evaluate_batch_parallel`]) additionally shard a single
+//! document traversal across a configurable thread budget
+//! ([`smoqe_hype::parallel`]) with bit-identical answers and statistics.
 //!
 //! Documents need not fit in memory at all: `answer_stream` on both
 //! [`SmoqeEngine`] and [`QueryService`] evaluates queries over a **streamed**

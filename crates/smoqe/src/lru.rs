@@ -1,14 +1,26 @@
-//! A tiny least-recently-used cache for the query service.
+//! Least-recently-used caches for the query service.
 //!
-//! The service caches a few dozen to a few hundred compiled queries and
-//! reachability indexes; at that size a `HashMap` with last-use ticks and an
-//! `O(n)` eviction scan beats the constant factors (and the dependency
-//! weight) of an intrusive linked-list LRU, and the behaviour is trivially
-//! auditable. Eviction only runs on inserts that would exceed capacity.
+//! Two layers:
+//!
+//! * [`LruCache`] — the single-threaded primitive. The service caches a few
+//!   dozen to a few hundred compiled queries and reachability indexes; at
+//!   that size a `HashMap` with last-use ticks and an `O(n)` eviction scan
+//!   beats the constant factors (and the dependency weight) of an intrusive
+//!   linked-list LRU, and the behaviour is trivially auditable. Eviction
+//!   only runs on inserts that would exceed capacity.
+//! * [`ShardedLru`] — the concurrent wrapper `QueryService` actually holds:
+//!   keys are hashed onto N independently locked [`LruCache`] segments, so
+//!   threads touching different keys rarely contend on the same mutex and a
+//!   long miss-path insert on one segment never blocks hits on the others.
+//!   Recency and eviction are exact *per segment*; globally the policy is
+//!   the standard segmented-LRU approximation (total capacity is split
+//!   evenly, rounded up, across segments). One segment restores exact
+//!   global LRU semantics.
 
 use std::borrow::Borrow;
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{BuildHasher, BuildHasherDefault, DefaultHasher, Hash};
+use std::sync::Mutex;
 
 #[derive(Debug)]
 struct Entry<V> {
@@ -101,6 +113,108 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+/// A thread-safe segmented LRU: N independently locked [`LruCache`]
+/// segments, keys distributed by a fixed (deterministic) hash.
+///
+/// `get` returns the value by clone — the service stores `Arc`s, so a hit
+/// is a reference-count bump and no lock is held while the caller uses the
+/// value. All methods take `&self`; a poisoned segment (a panic while its
+/// lock was held) is recovered rather than propagated, since every cached
+/// value is immutable once inserted.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    segments: Vec<Mutex<LruCache<K, V>>>,
+    hasher: BuildHasherDefault<DefaultHasher>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache of `segments` independently locked segments holding
+    /// `capacity` entries in total (split evenly, rounded up — the
+    /// effective capacity is [`Self::capacity`]). Both knobs are clamped to
+    /// at least 1, and the segment count to at most the capacity (so a
+    /// small cache is never diluted into empty segments).
+    pub fn new(capacity: usize, segments: usize) -> Self {
+        let capacity = capacity.max(1);
+        let segments = segments.clamp(1, capacity);
+        let per_segment = capacity.div_ceil(segments);
+        ShardedLru {
+            segments: (0..segments)
+                .map(|_| Mutex::new(LruCache::new(per_segment)))
+                .collect(),
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// The segment `key` lives in, by deterministic hash.
+    fn segment<Q>(&self, key: &Q) -> &Mutex<LruCache<K, V>>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.segments[h % self.segments.len()]
+    }
+
+    /// Looks up `key`, marking the entry as most recently used in its
+    /// segment. Accepts any borrowed form of the key, like
+    /// [`LruCache::get`].
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.segment(key)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .get(key)
+            .cloned()
+    }
+
+    /// Inserts `value` under `key`, evicting its segment's LRU entry if the
+    /// segment is full and `key` is new.
+    pub fn insert(&self, key: K, value: V) {
+        self.segment(&key)
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, value);
+    }
+
+    /// Number of cached entries, summed over segments.
+    pub fn len(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).len())
+            .sum()
+    }
+
+    /// `true` if nothing is cached in any segment.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The effective total capacity (per-segment capacity × segments; at
+    /// least the capacity requested at construction).
+    pub fn capacity(&self) -> usize {
+        self.segments
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).capacity())
+            .sum()
+    }
+
+    /// Number of independently locked segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Lifetime eviction count, summed over segments.
+    pub fn evictions(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).evictions())
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +271,143 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_is_rejected() {
         let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    /// Full eviction-order audit: entries leave in exact recency order,
+    /// where recency is set by the latest `get` *or* `insert`.
+    #[test]
+    fn eviction_follows_exact_recency_order() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        // Recency now a < b < c. Touch `a`, then overwrite `b`: c is LRU.
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("b", 20);
+        c.insert("d", 4); // evicts c
+        assert_eq!(c.get(&"c"), None);
+        assert_eq!(c.evictions(), 1);
+        // Recency now a < b < d; next eviction takes a, then b, then d.
+        c.insert("e", 5);
+        assert_eq!(c.get(&"a"), None);
+        c.insert("f", 6);
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.evictions(), 3);
+        assert_eq!(c.len(), 3);
+        for (k, v) in [("d", 4), ("e", 5), ("f", 6)] {
+            assert_eq!(c.get(&k), Some(&v), "survivor `{k}`");
+        }
+    }
+
+    /// A missed `get` must neither evict nor disturb recency.
+    #[test]
+    fn get_miss_leaves_the_cache_untouched() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        for _ in 0..10 {
+            assert_eq!(c.get(&"zzz"), None);
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
+        // "a" is still the LRU entry despite the misses in between.
+        c.insert("c", 3);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&2));
+    }
+
+    #[test]
+    fn capacity_one_eviction_interleaved_with_gets() {
+        let mut c = LruCache::new(1);
+        c.insert("a", 1);
+        assert_eq!(c.get(&"a"), Some(&1));
+        c.insert("a", 10); // reinsert: no eviction
+        assert_eq!(c.evictions(), 0);
+        c.insert("b", 2); // evicts a
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.get(&"b"), Some(&2));
+        assert_eq!(c.evictions(), 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 1);
+    }
+
+    // -- ShardedLru ---------------------------------------------------------
+
+    #[test]
+    fn sharded_zero_capacity_and_zero_segments_are_clamped() {
+        let c: ShardedLru<String, u32> = ShardedLru::new(0, 0);
+        assert_eq!(c.segment_count(), 1);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a".into(), 1);
+        c.insert("b".into(), 2);
+        assert_eq!(c.len(), 1, "capacity 1 holds exactly the newest entry");
+        assert_eq!(c.get("b"), Some(2));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn sharded_segments_never_exceed_capacity() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(2, 8);
+        assert_eq!(c.segment_count(), 2, "segment count is clamped to capacity");
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn sharded_single_segment_is_an_exact_lru() {
+        let c: ShardedLru<&str, u32> = ShardedLru::new(2, 1);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get("a"), Some(1)); // b becomes LRU
+        c.insert("c", 3);
+        assert_eq!(c.get("b"), None, "b was least recently used");
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn sharded_conserves_entries_across_evictions() {
+        // Segmented capacity is approximate globally (a hot segment can
+        // evict while another has room), but entries are conserved: every
+        // insert of a distinct key either resides in the cache or was
+        // evicted, and the advertised capacity is never undershot.
+        let c: ShardedLru<u32, u32> = ShardedLru::new(64, 8);
+        assert!(c.capacity() >= 64);
+        for i in 0..64 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len() as u64 + c.evictions(), 64);
+        let resident = (0..64).filter(|i| c.get(i).is_some()).count();
+        assert_eq!(resident, c.len());
+    }
+
+    #[test]
+    fn sharded_len_is_bounded_by_capacity_under_overflow() {
+        let c: ShardedLru<u32, u32> = ShardedLru::new(8, 4);
+        for i in 0..1000 {
+            c.insert(i, i);
+        }
+        assert!(c.len() <= c.capacity(), "len {} > capacity {}", c.len(), c.capacity());
+        assert!(c.evictions() >= 1000 - c.capacity() as u64);
+    }
+
+    #[test]
+    fn sharded_is_usable_from_many_threads() {
+        let c: std::sync::Arc<ShardedLru<u32, u32>> = std::sync::Arc::new(ShardedLru::new(32, 4));
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..200u32 {
+                        let k = (t * 7 + i) % 40;
+                        c.insert(k, k * 2);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 2, "values are never torn or mixed up");
+                        }
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= c.capacity());
     }
 }

@@ -18,14 +18,27 @@
 //!   OptHyPE(-C) index for a (query, document family) pair is built once;
 //! * a **batched evaluation front-end** ([`QueryService::evaluate_batch`])
 //!   that pushes N cached queries through a single HyPE pass
-//!   ([`smoqe_hype::evaluate_batch`]) instead of N traversals.
+//!   ([`smoqe_hype::evaluate_batch`]) instead of N traversals;
+//! * **parallel front-ends** ([`QueryService::answer_parallel`],
+//!   [`QueryService::evaluate_batch_parallel`]) that shard the document
+//!   traversal over a configurable thread budget
+//!   ([`smoqe_hype::parallel`]) with answers and statistics identical to
+//!   the sequential paths.
 //!
-//! All methods take `&self` and the caches are interior-mutable behind
-//! mutexes, so one service can be shared across threads.
+//! The service is `Send + Sync` by construction: all methods take `&self`,
+//! the caches are [`ShardedLru`]s (independently locked segments, so
+//! concurrent callers of different queries rarely touch the same mutex),
+//! the hit/miss counters are atomics, and the cached artefacts themselves —
+//! [`CompiledQuery`] with its `Arc<CompiledMfa>` execution IR, and
+//! [`ReachabilityIndex`] — are immutable and handed out as `Arc` clones
+//! (a cache hit never copies an IR or an index). Expensive work (rewriting,
+//! IR compilation, index construction) always runs *outside* any segment
+//! lock; two threads racing on the same cold key may both compute, and the
+//! last insert wins — sound because compilation is deterministic.
 
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use smoqe_hype::{
     BatchResult, CompiledBatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamResult,
@@ -36,15 +49,23 @@ use smoqe_xml::{LabelInterner, XmlStreamReader, XmlTree};
 use smoqe_xpath::{normalize, parse_path, Path};
 
 use crate::engine::{CompiledQuery, EngineError, EvaluationMode, SmoqeEngine};
-use crate::lru::LruCache;
+use crate::lru::ShardedLru;
 
-/// Sizing knobs for a [`QueryService`].
+/// Sizing and concurrency knobs for a [`QueryService`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Capacity of the compiled-query LRU cache.
     pub compiled_capacity: usize,
     /// Capacity of the reachability-index LRU cache.
     pub index_capacity: usize,
+    /// Number of independently locked segments each cache is split into
+    /// (clamped to at least 1 and at most the cache's capacity). More
+    /// segments reduce lock contention between concurrent callers;
+    /// `1` restores exact global LRU recency.
+    pub cache_segments: usize,
+    /// Thread budget of the `*_parallel` front-ends: `0` uses all available
+    /// cores, `1` runs the shard machinery on the calling thread.
+    pub parallel_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +73,8 @@ impl Default for ServiceConfig {
         ServiceConfig {
             compiled_capacity: 128,
             index_capacity: 64,
+            cache_segments: 8,
+            parallel_threads: 0,
         }
     }
 }
@@ -119,12 +142,14 @@ struct IndexKey {
 pub struct QueryService {
     engine: SmoqeEngine,
     fingerprint: u64,
+    /// Thread budget of the `*_parallel` front-ends (0 = all cores).
+    parallel_threads: usize,
     /// Raw query text → normalized key text, so warm-path lookups skip the
     /// parse + normalize + re-print entirely. Sized at a multiple of the
     /// compiled cache (several raw spellings can map to one key).
-    text_keys: Mutex<LruCache<String, String>>,
-    compiled: Mutex<LruCache<QueryKey, Arc<CompiledQuery>>>,
-    indexes: Mutex<LruCache<IndexKey, Arc<ReachabilityIndex>>>,
+    text_keys: ShardedLru<String, String>,
+    compiled: ShardedLru<QueryKey, Arc<CompiledQuery>>,
+    indexes: ShardedLru<IndexKey, Arc<ReachabilityIndex>>,
     compiled_hits: AtomicU64,
     compiled_misses: AtomicU64,
     index_hits: AtomicU64,
@@ -138,7 +163,8 @@ impl QueryService {
     }
 
     /// Creates a service for `view` with explicit cache sizes. Capacities
-    /// are clamped to at least 1 (the caches cannot be disabled).
+    /// are clamped to at least 1 (the caches cannot be disabled), and the
+    /// segment count to `1..=capacity` per cache.
     pub fn with_config(view: ViewDefinition, config: ServiceConfig) -> Result<Self, EngineError> {
         let engine = SmoqeEngine::new(view)?;
         let fingerprint = engine.view().fingerprint();
@@ -147,9 +173,10 @@ impl QueryService {
         Ok(QueryService {
             engine,
             fingerprint,
-            text_keys: Mutex::new(LruCache::new(4 * compiled_capacity)),
-            compiled: Mutex::new(LruCache::new(compiled_capacity)),
-            indexes: Mutex::new(LruCache::new(index_capacity)),
+            parallel_threads: config.parallel_threads,
+            text_keys: ShardedLru::new(4 * compiled_capacity, config.cache_segments),
+            compiled: ShardedLru::new(compiled_capacity, config.cache_segments),
+            indexes: ShardedLru::new(index_capacity, config.cache_segments),
             compiled_hits: AtomicU64::new(0),
             compiled_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
@@ -203,15 +230,11 @@ impl QueryService {
     /// the parse entirely (raw text → key memo) and reduce to two hash
     /// lookups.
     pub fn compile(&self, query: &str) -> Result<Arc<CompiledQuery>, EngineError> {
-        // NB: bind the memo lookup before matching — a `match` on the guard
-        // temporary would hold the lock into the `None` arm, which re-locks.
-        let memoized: Option<String> = self.lock_text_keys().get(query).cloned();
-        let (key_text, normalized) = match memoized {
+        let (key_text, normalized) = match self.text_keys.get(query) {
             Some(key) => (key, None),
             None => {
                 let (key_text, normalized) = Self::derive_key(query)?;
-                self.lock_text_keys()
-                    .insert(query.to_owned(), key_text.clone());
+                self.text_keys.insert(query.to_owned(), key_text.clone());
                 (key_text, Some(normalized))
             }
         };
@@ -219,9 +242,9 @@ impl QueryService {
             view_fingerprint: self.fingerprint,
             query: key_text,
         };
-        if let Some(cached) = self.lock_compiled().get(&key) {
+        if let Some(cached) = self.compiled.get(&key) {
             self.compiled_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(cached));
+            return Ok(cached);
         }
         self.compiled_misses.fetch_add(1, Ordering::Relaxed);
         // On a text-memo hit whose compilation was since evicted, recover
@@ -231,12 +254,12 @@ impl QueryService {
             Some(n) => n,
             None => normalize(&parse_path(&key.query).expect("cached key text re-parses")),
         };
-        // Compile outside the lock: rewriting is the expensive part and
-        // concurrent callers of *different* queries should not serialize.
+        // Compile outside any segment lock: rewriting is the expensive part
+        // and concurrent callers of *different* queries must not serialize.
         // Two racing callers of the same query both compile; last insert
         // wins, which is sound because compilation is deterministic.
         let compiled = Arc::new(self.engine.compile_path(&normalized)?);
-        self.lock_compiled().insert(key, Arc::clone(&compiled));
+        self.compiled.insert(key, Arc::clone(&compiled));
         Ok(compiled)
     }
 
@@ -253,14 +276,28 @@ impl QueryService {
             doc_labels: labels_fingerprint(doc.labels()),
             compressed,
         };
-        if let Some(cached) = self.lock_indexes().get(&key) {
+        if let Some(cached) = self.indexes.get(&key) {
             self.index_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(cached);
+            return cached;
         }
         self.index_misses.fetch_add(1, Ordering::Relaxed);
         let index = Arc::new(compiled.build_index(self.view().document_dtd(), doc, compressed));
-        self.lock_indexes().insert(key, Arc::clone(&index));
+        self.indexes.insert(key, Arc::clone(&index));
         index
+    }
+
+    /// The index for `mode`, from cache: `None` for plain HyPE.
+    fn index_for_mode(
+        &self,
+        compiled: &CompiledQuery,
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Option<Arc<ReachabilityIndex>> {
+        match mode {
+            EvaluationMode::HyPE => None,
+            EvaluationMode::OptHyPE => Some(self.index_for(compiled, doc, false)),
+            EvaluationMode::OptHyPEC => Some(self.index_for(compiled, doc, true)),
+        }
     }
 
     /// Answers `query` over `doc` with `mode`, hitting both caches. A
@@ -273,27 +310,36 @@ impl QueryService {
         mode: EvaluationMode,
     ) -> Result<HypeResult, EngineError> {
         let compiled = self.compile(query)?;
-        Ok(match mode {
-            EvaluationMode::HyPE => compiled.evaluate(doc),
-            EvaluationMode::OptHyPE => {
-                let index = self.index_for(&compiled, doc, false);
-                smoqe_hype::evaluate_compiled_at_with(
-                    doc,
-                    doc.root(),
-                    compiled.compiled(),
-                    Some(&index),
-                )
-            }
-            EvaluationMode::OptHyPEC => {
-                let index = self.index_for(&compiled, doc, true);
-                smoqe_hype::evaluate_compiled_at_with(
-                    doc,
-                    doc.root(),
-                    compiled.compiled(),
-                    Some(&index),
-                )
-            }
-        })
+        let index = self.index_for_mode(&compiled, doc, mode);
+        Ok(smoqe_hype::evaluate_compiled_at_with(
+            doc,
+            doc.root(),
+            compiled.compiled(),
+            index.as_deref(),
+        ))
+    }
+
+    /// Answers `query` over `doc` with `mode`, sharding the document
+    /// traversal over the service's configured thread budget
+    /// ([`ServiceConfig::parallel_threads`]) via
+    /// [`smoqe_hype::evaluate_parallel_at_with`]. Hits both caches exactly
+    /// like [`Self::evaluate`], and returns the same answers *and*
+    /// statistics — parallelism only changes wall-clock time.
+    pub fn answer_parallel(
+        &self,
+        query: &str,
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<HypeResult, EngineError> {
+        let compiled = self.compile(query)?;
+        let index = self.index_for_mode(&compiled, doc, mode);
+        Ok(smoqe_hype::evaluate_parallel_at_with(
+            doc,
+            doc.root(),
+            compiled.compiled(),
+            index.as_deref(),
+            self.parallel_threads,
+        ))
     }
 
     /// Answers all of `queries` over `doc` in **one** document pass.
@@ -317,12 +363,67 @@ impl QueryService {
         doc: &XmlTree,
         mode: EvaluationMode,
     ) -> Result<BatchResult, EngineError> {
+        let (unique, indexes, slot_of) = self.assemble_batch(queries, doc, mode)?;
+        let batch = to_batch_queries(&unique, &indexes);
+        let result = smoqe_hype::evaluate_batch_compiled(doc, &batch);
+        Ok(fan_out(result, &slot_of))
+    }
+
+    /// Answers all of `queries` over `doc` in one *sharded, multi-threaded*
+    /// document pass ([`smoqe_hype::evaluate_batch_parallel`]) under the
+    /// service's configured thread budget. Deduplication, result alignment,
+    /// per-query answers and statistics, and the aggregate
+    /// [`BatchStats`](smoqe_hype::BatchStats) are all identical to
+    /// [`Self::evaluate_batch`].
+    pub fn evaluate_batch_parallel(
+        &self,
+        queries: &[&str],
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<BatchResult, EngineError> {
+        let (unique, indexes, slot_of) = self.assemble_batch(queries, doc, mode)?;
+        let batch = to_batch_queries(&unique, &indexes);
+        let result = smoqe_hype::evaluate_batch_parallel(doc, &batch, self.parallel_threads);
+        Ok(fan_out(result, &slot_of))
+    }
+
+    /// The shared batch preamble of the sequential and parallel front-ends:
+    /// compile every query through the cache, deduplicate equivalent
+    /// spellings, and resolve each distinct compilation's index for `mode`.
+    #[allow(clippy::type_complexity)]
+    fn assemble_batch(
+        &self,
+        queries: &[&str],
+        doc: &XmlTree,
+        mode: EvaluationMode,
+    ) -> Result<
+        (
+            Vec<Arc<CompiledQuery>>,
+            Vec<Option<Arc<ReachabilityIndex>>>,
+            Vec<usize>,
+        ),
+        EngineError,
+    > {
+        let (unique, slot_of) = self.compile_deduped(queries)?;
+        let indexes = unique
+            .iter()
+            .map(|c| self.index_for_mode(c, doc, mode))
+            .collect();
+        Ok((unique, indexes, slot_of))
+    }
+
+    /// Compiles every query through the cache and deduplicates equivalent
+    /// spellings (which come back as the same cached `Arc`): returns the
+    /// distinct compilations plus, per input position, the index of its
+    /// compilation in that list.
+    fn compile_deduped(
+        &self,
+        queries: &[&str],
+    ) -> Result<(Vec<Arc<CompiledQuery>>, Vec<usize>), EngineError> {
         let compiled: Vec<Arc<CompiledQuery>> = queries
             .iter()
             .map(|q| self.compile(q))
             .collect::<Result<_, _>>()?;
-        // Equivalent spellings come back as the same cached Arc; evaluate
-        // each distinct compilation once and fan the results back out.
         let mut unique: Vec<Arc<CompiledQuery>> = Vec::with_capacity(compiled.len());
         let mut slot_of: Vec<usize> = Vec::with_capacity(compiled.len());
         for c in &compiled {
@@ -335,34 +436,7 @@ impl QueryService {
                 });
             slot_of.push(slot);
         }
-        let indexes: Vec<Option<Arc<ReachabilityIndex>>> = match mode {
-            EvaluationMode::HyPE => vec![None; unique.len()],
-            EvaluationMode::OptHyPE => unique
-                .iter()
-                .map(|c| Some(self.index_for(c, doc, false)))
-                .collect(),
-            EvaluationMode::OptHyPEC => unique
-                .iter()
-                .map(|c| Some(self.index_for(c, doc, true)))
-                .collect(),
-        };
-        let batch: Vec<CompiledBatchQuery> = unique
-            .iter()
-            .zip(&indexes)
-            .map(|(c, i)| CompiledBatchQuery {
-                compiled: Arc::clone(c.compiled()),
-                index: i.as_deref(),
-            })
-            .collect();
-        let result = smoqe_hype::evaluate_batch_compiled(doc, &batch);
-        let results = slot_of
-            .into_iter()
-            .map(|slot| result.results[slot].clone())
-            .collect();
-        Ok(BatchResult {
-            results,
-            stats: result.stats,
-        })
+        Ok((unique, slot_of))
     }
 
     /// Answers `query` over a **streamed** document read from `input`,
@@ -389,22 +463,7 @@ impl QueryService {
         queries: &[&str],
         input: impl Read,
     ) -> Result<StreamResult, EngineError> {
-        let compiled: Vec<Arc<CompiledQuery>> = queries
-            .iter()
-            .map(|q| self.compile(q))
-            .collect::<Result<_, _>>()?;
-        let mut unique: Vec<Arc<CompiledQuery>> = Vec::with_capacity(compiled.len());
-        let mut slot_of: Vec<usize> = Vec::with_capacity(compiled.len());
-        for c in &compiled {
-            let slot = unique
-                .iter()
-                .position(|u| Arc::ptr_eq(u, c))
-                .unwrap_or_else(|| {
-                    unique.push(Arc::clone(c));
-                    unique.len() - 1
-                });
-            slot_of.push(slot);
-        }
+        let (unique, slot_of) = self.compile_deduped(queries)?;
         let batch: Vec<CompiledBatchQuery> = unique
             .iter()
             .map(|c| CompiledBatchQuery::new(Arc::clone(c.compiled())))
@@ -412,8 +471,8 @@ impl QueryService {
         let mut reader = XmlStreamReader::new(input);
         let result = StreamHype::from_compiled(&batch, LabelInterner::new()).run(&mut reader)?;
         let results = slot_of
-            .into_iter()
-            .map(|slot| result.results[slot].clone())
+            .iter()
+            .map(|&slot| result.results[slot].clone())
             .collect();
         Ok(StreamResult {
             results,
@@ -421,38 +480,59 @@ impl QueryService {
         })
     }
 
+    /// The thread budget the `*_parallel` front-ends run under (0 = all
+    /// available cores).
+    pub fn parallel_threads(&self) -> usize {
+        self.parallel_threads
+    }
+
     /// Snapshot of the cache counters.
+    ///
+    /// Counters are read individually (atomics, per-segment sums) without a
+    /// global lock, so a snapshot taken *while* other threads are active is
+    /// a consistent-enough view for monitoring, not a linearizable one; once
+    /// the service is quiescent the numbers are exact.
     pub fn stats(&self) -> ServiceStats {
-        let compiled = self.lock_compiled();
-        let indexes = self.lock_indexes();
         ServiceStats {
             compiled_hits: self.compiled_hits.load(Ordering::Relaxed),
             compiled_misses: self.compiled_misses.load(Ordering::Relaxed),
-            compiled_evictions: compiled.evictions(),
-            compiled_cached: compiled.len(),
+            compiled_evictions: self.compiled.evictions(),
+            compiled_cached: self.compiled.len(),
             index_hits: self.index_hits.load(Ordering::Relaxed),
             index_misses: self.index_misses.load(Ordering::Relaxed),
-            index_evictions: indexes.evictions(),
-            index_cached: indexes.len(),
+            index_evictions: self.indexes.evictions(),
+            index_cached: self.indexes.len(),
         }
     }
+}
 
-    fn lock_text_keys(&self) -> MutexGuard<'_, LruCache<String, String>> {
-        self.text_keys
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
+/// Pairs each distinct compilation with its (optional) index as a borrow
+/// for the batch engines.
+fn to_batch_queries<'a>(
+    unique: &[Arc<CompiledQuery>],
+    indexes: &'a [Option<Arc<ReachabilityIndex>>],
+) -> Vec<CompiledBatchQuery<'a>> {
+    unique
+        .iter()
+        .zip(indexes)
+        .map(|(c, i)| CompiledBatchQuery {
+            compiled: Arc::clone(c.compiled()),
+            index: i.as_deref(),
+        })
+        .collect()
+}
 
-    fn lock_compiled(&self) -> MutexGuard<'_, LruCache<QueryKey, Arc<CompiledQuery>>> {
-        self.compiled
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    fn lock_indexes(&self) -> MutexGuard<'_, LruCache<IndexKey, Arc<ReachabilityIndex>>> {
-        self.indexes
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+/// Fans a deduplicated batch result back out to the caller's query
+/// positions: slot `i` of the output clones the result of the distinct
+/// compilation that input `i` mapped to.
+fn fan_out(result: BatchResult, slot_of: &[usize]) -> BatchResult {
+    let results = slot_of
+        .iter()
+        .map(|&slot| result.results[slot].clone())
+        .collect();
+    BatchResult {
+        results,
+        stats: result.stats,
     }
 }
 
@@ -568,11 +648,14 @@ mod tests {
 
     #[test]
     fn lru_eviction_respects_capacity() {
+        // One segment ⇒ exact global LRU, so eviction counts are precise.
         let service = QueryService::with_config(
             SmoqeEngine::hospital_demo().view().clone(),
             ServiceConfig {
                 compiled_capacity: 2,
                 index_capacity: 2,
+                cache_segments: 1,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -630,6 +713,8 @@ mod tests {
             ServiceConfig {
                 compiled_capacity: 0,
                 index_capacity: 0,
+                cache_segments: 0,
+                ..ServiceConfig::default()
             },
         )
         .unwrap();
@@ -668,6 +753,49 @@ mod tests {
         assert_eq!(batch.results[0].stats, batch.results[1].stats);
         let (solo, _) = service.answer_stream("patient/record", xml.as_bytes()).unwrap();
         assert_eq!(batch.results[1].answers, solo.answers);
+    }
+
+    #[test]
+    fn answer_parallel_matches_evaluate_in_every_mode() {
+        let service = QueryService::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig {
+                parallel_threads: 3,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let d = doc(9);
+        for query in ["patient", "patient/record/diagnosis", "(patient/parent)*/patient[record]"] {
+            for mode in [
+                EvaluationMode::HyPE,
+                EvaluationMode::OptHyPE,
+                EvaluationMode::OptHyPEC,
+            ] {
+                let sequential = service.evaluate(query, &d, mode).unwrap();
+                let parallel = service.answer_parallel(query, &d, mode).unwrap();
+                assert_eq!(parallel.answers, sequential.answers, "on `{query}` ({mode:?})");
+                assert_eq!(parallel.stats, sequential.stats, "on `{query}` ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn evaluate_batch_parallel_matches_batch_and_dedupes() {
+        let service = QueryService::hospital_demo();
+        assert_eq!(service.parallel_threads(), 0, "default budget is all cores");
+        let d = doc(3);
+        let queries = ["patient/record", "./patient/./record", "patient", "//diagnosis"];
+        let sequential = service.evaluate_batch(&queries, &d, EvaluationMode::HyPE).unwrap();
+        let parallel = service
+            .evaluate_batch_parallel(&queries, &d, EvaluationMode::HyPE)
+            .unwrap();
+        assert_eq!(parallel.results.len(), queries.len());
+        assert_eq!(parallel.stats, sequential.stats, "aggregate stats incl. dedup");
+        for (p, s) in parallel.results.iter().zip(&sequential.results) {
+            assert_eq!(p.answers, s.answers);
+            assert_eq!(p.stats, s.stats);
+        }
     }
 
     #[test]

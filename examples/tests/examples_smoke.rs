@@ -14,6 +14,7 @@ const EXAMPLES: &[&str] = &[
     "heredity_patterns",
     "materialize_vs_rewrite",
     "query_service",
+    "parallel_service",
     "streaming",
 ];
 

@@ -167,6 +167,7 @@ fn service_cache_is_semantically_invisible_under_eviction_pressure() {
         ServiceConfig {
             compiled_capacity: 2,
             index_capacity: 1,
+            ..ServiceConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,192 @@
+//! Concurrency stress for the thread-safe `QueryService`: many threads
+//! hammering one shared instance with interleaved cache-hitting and
+//! cache-missing queries, across the sequential, batched and parallel
+//! front-ends. The service must stay deterministic (every answer equals the
+//! single-threaded oracle), never poison a lock, and keep coherent hit/miss
+//! counters.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use smoqe::{EvaluationMode, QueryService, ServiceConfig, SmoqeEngine};
+use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_xml::XmlTree;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 12;
+
+/// A small set of *hot* queries every thread keeps re-posing (cache hits
+/// after warm-up)…
+const HOT_QUERIES: &[&str] = &[
+    "patient",
+    "patient/record/diagnosis",
+    "(patient/parent)*/patient[record]",
+    "patient[not(parent)]",
+];
+
+/// …and per-thread *cold* queries that defeat the tiny compiled cache and
+/// force constant eviction + recompilation alongside the hits. The distinct
+/// text literal survives normalization, so every (thread, round) pair is a
+/// distinct cache key; the filter branch matches nothing, so each one
+/// answers exactly like `patient/record`.
+fn cold_query(thread: usize, round: usize) -> String {
+    format!("patient/record | patient[record/diagnosis/text()='cold-{thread}-{round}']/record")
+}
+
+fn doc() -> XmlTree {
+    generate_hospital(&HospitalConfig {
+        patients: 30,
+        heart_disease_fraction: 0.4,
+        max_ancestor_depth: 2,
+        seed: 77,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn eight_threads_hammer_one_shared_service() {
+    let service = Arc::new(
+        QueryService::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig {
+                compiled_capacity: 4, // far smaller than the cold-query space
+                index_capacity: 4,
+                cache_segments: 4,
+                parallel_threads: 2,
+            },
+        )
+        .unwrap(),
+    );
+    let document = Arc::new(doc());
+
+    // Single-threaded oracle answers, computed before any concurrency.
+    let mut expected = BTreeMap::new();
+    for &q in HOT_QUERIES {
+        expected.insert(
+            q.to_owned(),
+            service.evaluate(q, &document, EvaluationMode::HyPE).unwrap().answers,
+        );
+    }
+    let cold_expected = service
+        .evaluate("patient/record", &document, EvaluationMode::HyPE)
+        .unwrap()
+        .answers;
+    let baseline = service.stats();
+    let expected = Arc::new(expected);
+    let cold_expected = Arc::new(cold_expected);
+
+    // Every compiled-cache lookup (one per compile() call) is tallied so
+    // the counters can be audited after the run.
+    let lookups = AtomicU64::new(0);
+    let index_lookups = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let service = Arc::clone(&service);
+            let document = Arc::clone(&document);
+            let expected = Arc::clone(&expected);
+            let cold_expected = Arc::clone(&cold_expected);
+            let lookups = &lookups;
+            let index_lookups = &index_lookups;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    // Hot query, sequential front-end.
+                    let hot = HOT_QUERIES[(t + round) % HOT_QUERIES.len()];
+                    let got = service.evaluate(hot, &document, EvaluationMode::HyPE).unwrap();
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(got.answers, expected[hot], "hot `{hot}` (thread {t})");
+
+                    // Cold query, parallel front-end (cache miss + shard pool).
+                    let cold = cold_query(t, round);
+                    let got = service
+                        .answer_parallel(&cold, &document, EvaluationMode::HyPE)
+                        .unwrap();
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(got.answers, *cold_expected, "cold `{cold}` (thread {t})");
+
+                    // Hot + cold in one batched parallel pass; results stay
+                    // aligned and identical to the solo oracles.
+                    let batch = service
+                        .evaluate_batch_parallel(
+                            &[hot, &cold],
+                            &document,
+                            EvaluationMode::HyPE,
+                        )
+                        .unwrap();
+                    lookups.fetch_add(2, Ordering::Relaxed);
+                    assert_eq!(batch.results[0].answers, expected[hot]);
+                    assert_eq!(batch.results[1].answers, *cold_expected);
+
+                    // OptHyPE exercises the index cache concurrently too.
+                    let got = service
+                        .evaluate(hot, &document, EvaluationMode::OptHyPE)
+                        .unwrap();
+                    lookups.fetch_add(1, Ordering::Relaxed);
+                    index_lookups.fetch_add(1, Ordering::Relaxed);
+                    assert_eq!(got.answers, expected[hot]);
+                }
+            });
+        }
+    });
+
+    // No thread panicked (scope joined), so no lock was poisoned; stats()
+    // itself re-locks every segment and must succeed.
+    let stats = service.stats();
+    let compiled_lookups = stats.compiled_hits + stats.compiled_misses
+        - (baseline.compiled_hits + baseline.compiled_misses);
+    assert_eq!(
+        compiled_lookups,
+        lookups.load(Ordering::Relaxed),
+        "every compile() call records exactly one hit or miss"
+    );
+    let index_total = stats.index_hits + stats.index_misses;
+    assert_eq!(
+        index_total,
+        index_lookups.load(Ordering::Relaxed),
+        "every index_for() call records exactly one hit or miss"
+    );
+    // The cold-query space (THREADS × ROUNDS distinct keys) vastly exceeds
+    // capacity 4: evictions and misses beyond warm-up are certain, and hits
+    // happened too (the hot set re-poses constantly).
+    assert!(stats.compiled_evictions > 0, "tiny cache must evict under pressure");
+    assert!(
+        stats.compiled_hits > baseline.compiled_hits,
+        "hot queries must hit"
+    );
+    assert!(
+        stats.compiled_misses > baseline.compiled_misses,
+        "cold queries must miss"
+    );
+    assert!(stats.compiled_cached <= 4, "cached entries bounded by capacity");
+}
+
+#[test]
+fn concurrent_stats_snapshots_never_block_progress() {
+    // One writer thread evaluating, several reader threads polling stats():
+    // no deadlock, and the final counters balance.
+    let service = Arc::new(QueryService::hospital_demo());
+    let document = Arc::new(doc());
+    std::thread::scope(|scope| {
+        for _ in 0..3 {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for _ in 0..200 {
+                    let s = service.stats();
+                    assert!(s.compiled_hits + s.compiled_misses <= 100);
+                }
+            });
+        }
+        let service = Arc::clone(&service);
+        let document = Arc::clone(&document);
+        scope.spawn(move || {
+            for i in 0..100 {
+                let q = if i % 2 == 0 { "patient" } else { "patient/record" };
+                service.evaluate(q, &document, EvaluationMode::HyPE).unwrap();
+            }
+        });
+    });
+    let stats = service.stats();
+    assert_eq!(stats.compiled_hits + stats.compiled_misses, 100);
+    assert_eq!(stats.compiled_misses, 2);
+}
