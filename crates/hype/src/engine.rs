@@ -76,7 +76,7 @@ impl HypeStats {
 }
 
 /// The result of a HyPE run: the answer set and the run's statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HypeResult {
     /// The answer `n[[M]]`.
     pub answers: BTreeSet<NodeId>,

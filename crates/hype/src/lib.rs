@@ -47,6 +47,14 @@
 //! engines** at every thread budget (a guarantee the
 //! `parallel_differential` suite enforces).
 //!
+//! When the workload is *many documents* rather than one big one, the
+//! [`corpus`] module routes a batch of (document, query) pairs across the
+//! same scoped worker pool — one pair per work item, each running the
+//! unchanged sequential engine ([`evaluate_corpus_parallel`]) — which
+//! sidesteps the shard-skew cap of within-document sharding entirely while
+//! keeping every answer and per-pair [`HypeStats`] bit-identical to a
+//! sequential loop ([`evaluate_corpus`]).
+//!
 //! Finally, the [`stream`] module removes the remaining memory dependency
 //! on the document: [`StreamHype`] is a stack-machine port of the same pass
 //! driven by the `Open`/`Text`/`Close` events of `smoqe_xml::stream`,
@@ -76,6 +84,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod corpus;
 pub mod engine;
 pub mod index;
 pub mod interpreted;
@@ -87,6 +96,7 @@ pub use batch::{
     evaluate_batch, evaluate_batch_at, evaluate_batch_compiled, evaluate_batch_compiled_at,
     BatchQuery, BatchResult, BatchStats, CompiledBatchQuery,
 };
+pub use corpus::{evaluate_corpus, evaluate_corpus_parallel, CorpusTask};
 pub use parallel::{
     evaluate_batch_parallel, evaluate_batch_parallel_at, evaluate_parallel,
     evaluate_parallel_at_with,

@@ -39,7 +39,7 @@
 //!   arena with the reached context vertices; the union (a `BTreeSet` over
 //!   pre-order [`NodeId`]s) is the sequential answer set in pre-order
 //!   index order, whatever order shards were claimed or finished in.
-//! * **[`HypeStats`](crate::HypeStats)** — every counter is a sum of per-node contributions
+//! * **[`HypeStats`]** — every counter is a sum of per-node contributions
 //!   that depend only on that query's own state at the node, so summing
 //!   context + shards reproduces the sequential numbers exactly; the
 //!   differential suite (`tests/tests/parallel_differential.rs`) asserts
@@ -89,7 +89,7 @@ const _: () = {
 };
 
 /// Resolves a thread-budget knob: `0` means all available cores.
-fn resolve_threads(budget: usize) -> usize {
+pub(crate) fn resolve_threads(budget: usize) -> usize {
     if budget == 0 {
         thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -110,7 +110,7 @@ struct WorkerResult {
 /// Evaluates a pre-compiled query at the root of `tree` with plain HyPE,
 /// sharding the root's subtrees over up to `threads` worker threads.
 ///
-/// The result — answers *and* [`HypeStats`](crate::HypeStats) — is identical to
+/// The result — answers *and* [`HypeStats`] — is identical to
 /// [`crate::evaluate_compiled`] at every thread budget:
 ///
 /// ```
@@ -287,12 +287,13 @@ fn run_shards(
     })
 }
 
-/// The shared worker scaffold of the traversal and finalize phases: runs
-/// `worker` once per worker slot, handing each the claim counter the
-/// bodies pull work-item indices from. One worker runs inline (budget 1
-/// exercises the same code path, unspawned); panics inside a spawned
-/// worker are re-raised on the calling thread after all workers joined.
-fn claim_parallel<T: Send>(
+/// The shared worker scaffold of the traversal and finalize phases (and of
+/// [`crate::corpus`]'s across-documents axis): runs `worker` once per
+/// worker slot, handing each the claim counter the bodies pull work-item
+/// indices from. One worker runs inline (budget 1 exercises the same code
+/// path, unspawned); panics inside a spawned worker are re-raised on the
+/// calling thread after all workers joined.
+pub(crate) fn claim_parallel<T: Send>(
     workers: usize,
     worker: impl Fn(&AtomicUsize) -> T + Sync,
 ) -> Vec<T> {

@@ -24,6 +24,9 @@ pub enum EngineError {
     Rewrite(RewriteError),
     /// A streamed document failed to parse (or its reader failed).
     Xml(ParseError),
+    /// A corpus request referenced a document id not present in the
+    /// [`DocumentStore`](crate::DocumentStore).
+    UnknownDocument(crate::store::DocId),
 }
 
 impl fmt::Display for EngineError {
@@ -33,6 +36,9 @@ impl fmt::Display for EngineError {
             EngineError::View(e) => write!(f, "{e}"),
             EngineError::Rewrite(e) => write!(f, "{e}"),
             EngineError::Xml(e) => write!(f, "{e}"),
+            EngineError::UnknownDocument(id) => {
+                write!(f, "document {id} is not in the store")
+            }
         }
     }
 }

@@ -28,6 +28,16 @@
 //! document traversal across a configurable thread budget
 //! ([`smoqe_hype::parallel`]) with bit-identical answers and statistics.
 //!
+//! When the workload is many *documents* rather than many queries, the
+//! [`DocumentStore`] holds a corpus of documents as parsed arenas plus
+//! their binary snapshots (`smoqe_xml::snapshot`), content-addressed by
+//! [`DocId`] with the reachability-cache fingerprint precomputed per
+//! document. [`QueryService::evaluate_corpus_parallel`] then routes a
+//! batch of (document, query) requests **across documents** over the same
+//! thread budget — each pair on the unchanged sequential engine, so
+//! answers and statistics stay bit-identical to the sequential
+//! [`QueryService::evaluate_corpus`] loop.
+//!
 //! Documents need not fit in memory at all: `answer_stream` on both
 //! [`SmoqeEngine`] and [`QueryService`] evaluates queries over a **streamed**
 //! document read from any `std::io::Read` — the single-pass promise of the
@@ -60,9 +70,11 @@
 pub mod engine;
 pub mod lru;
 pub mod service;
+pub mod store;
 
 pub use engine::{CompiledQuery, EngineError, EvaluationMode, RegularXPathEngine, SmoqeEngine};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
+pub use store::{DocId, DocumentStore, StoredDocument};
 
 // Re-export the subsystem crates so downstream users need a single dependency.
 pub use smoqe_automata as automata;

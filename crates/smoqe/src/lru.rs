@@ -352,6 +352,53 @@ mod tests {
         assert_eq!(c.capacity(), 2);
     }
 
+    /// Audit of the `capacity < segments` family (and other degenerate
+    /// shapes): no construction may ever yield a segment of capacity 0 —
+    /// such a segment would instantly evict everything hashed onto it.
+    /// The clamping chain `capacity.max(1)` → `segments.clamp(1, capacity)`
+    /// → `div_ceil` guarantees per-segment capacity ≥ 1; this locks it in.
+    #[test]
+    fn sharded_edge_shapes_never_produce_a_dead_segment() {
+        for (capacity, segments) in [
+            (0, 0),
+            (0, 8),
+            (1, 1),
+            (1, 8),
+            (2, 8),
+            (3, 4),
+            (5, 4),
+            (7, 8),
+            (8, 3),
+            (9, 4),
+            (64, 7),
+        ] {
+            let c: ShardedLru<u32, u32> = ShardedLru::new(capacity, segments);
+            assert!(
+                c.segment_count() <= capacity.max(1),
+                "({capacity},{segments}): more segments than capacity"
+            );
+            for (i, seg) in c.segments.iter().enumerate() {
+                let cap = seg.lock().unwrap().capacity();
+                assert!(cap >= 1, "({capacity},{segments}): segment {i} has capacity 0");
+            }
+            assert!(
+                c.capacity() >= capacity.max(1),
+                "({capacity},{segments}): effective capacity undershoots the request"
+            );
+            // Behavioural check: an insert is always observable right after,
+            // whatever segment the key routes to — a dead segment would
+            // return None here.
+            for k in 0..32u32 {
+                c.insert(k, k + 100);
+                assert_eq!(
+                    c.get(&k),
+                    Some(k + 100),
+                    "({capacity},{segments}): key {k} vanished on insert"
+                );
+            }
+        }
+    }
+
     #[test]
     fn sharded_single_segment_is_an_exact_lru() {
         let c: ShardedLru<&str, u32> = ShardedLru::new(2, 1);

@@ -41,8 +41,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use smoqe_hype::{
-    BatchResult, CompiledBatchQuery, HypeResult, ReachabilityIndex, StreamHype, StreamResult,
-    StreamStats,
+    BatchResult, CompiledBatchQuery, CorpusTask, HypeResult, ReachabilityIndex, StreamHype,
+    StreamResult, StreamStats,
 };
 use smoqe_views::ViewDefinition;
 use smoqe_xml::{LabelInterner, XmlStreamReader, XmlTree};
@@ -50,6 +50,7 @@ use smoqe_xpath::{normalize, parse_path, Path};
 
 use crate::engine::{CompiledQuery, EngineError, EvaluationMode, SmoqeEngine};
 use crate::lru::ShardedLru;
+use crate::store::{DocId, DocumentStore, StoredDocument};
 
 /// Sizing and concurrency knobs for a [`QueryService`].
 #[derive(Debug, Clone, Copy)]
@@ -271,9 +272,24 @@ impl QueryService {
         doc: &XmlTree,
         compressed: bool,
     ) -> Arc<ReachabilityIndex> {
+        self.index_for_fingerprinted(compiled, doc, labels_fingerprint(doc.labels()), compressed)
+    }
+
+    /// [`Self::index_for`] with the document-label fingerprint supplied by
+    /// the caller — the corpus path precomputes it once per stored document
+    /// ([`StoredDocument::labels_fingerprint`]) instead of rehashing the
+    /// label table on every (doc, query) request.
+    fn index_for_fingerprinted(
+        &self,
+        compiled: &CompiledQuery,
+        doc: &XmlTree,
+        doc_labels: u64,
+        compressed: bool,
+    ) -> Arc<ReachabilityIndex> {
+        debug_assert_eq!(doc_labels, labels_fingerprint(doc.labels()));
         let key = IndexKey {
             query: compiled.query().to_string(),
-            doc_labels: labels_fingerprint(doc.labels()),
+            doc_labels,
             compressed,
         };
         if let Some(cached) = self.indexes.get(&key) {
@@ -385,6 +401,81 @@ impl QueryService {
         let batch = to_batch_queries(&unique, &indexes);
         let result = smoqe_hype::evaluate_batch_parallel(doc, &batch, self.parallel_threads);
         Ok(fan_out(result, &slot_of))
+    }
+
+    /// Answers a batch of (document, query) requests against `store`, one
+    /// sequential evaluation per request, in order — the reference loop
+    /// [`Self::evaluate_corpus_parallel`] is differentially tested against.
+    ///
+    /// Every request hits both caches: queries compile once per distinct
+    /// normalized spelling, and OptHyPE(-C) indexes are shared across all
+    /// documents with the same label-interner layout (the fingerprint is
+    /// precomputed per stored document, so the cache key costs nothing per
+    /// request). A request naming an unknown [`DocId`] fails the whole call
+    /// with [`EngineError::UnknownDocument`].
+    pub fn evaluate_corpus(
+        &self,
+        store: &DocumentStore,
+        requests: &[(DocId, &str)],
+        mode: EvaluationMode,
+    ) -> Result<Vec<HypeResult>, EngineError> {
+        let items = self.assemble_corpus(store, requests, mode)?;
+        Ok(smoqe_hype::evaluate_corpus(&corpus_tasks(&items)))
+    }
+
+    /// Answers a batch of (document, query) requests against `store`,
+    /// routing them **across documents** over the service's thread budget
+    /// ([`ServiceConfig::parallel_threads`]) — one document per work item
+    /// on the scoped worker pool of [`smoqe_hype::corpus`]. Results are in
+    /// request order, with answers and per-request
+    /// [`HypeStats`](smoqe_hype::HypeStats) **bit-identical** to
+    /// [`Self::evaluate_corpus`] at every thread budget; parallelism only
+    /// changes wall-clock time.
+    pub fn evaluate_corpus_parallel(
+        &self,
+        store: &DocumentStore,
+        requests: &[(DocId, &str)],
+        mode: EvaluationMode,
+    ) -> Result<Vec<HypeResult>, EngineError> {
+        let items = self.assemble_corpus(store, requests, mode)?;
+        Ok(smoqe_hype::evaluate_corpus_parallel(
+            &corpus_tasks(&items),
+            self.parallel_threads,
+        ))
+    }
+
+    /// The shared corpus preamble: resolve every document, compile every
+    /// query through the cache, and fetch each pair's index for `mode` —
+    /// keyed on the stored document's precomputed label fingerprint.
+    fn assemble_corpus(
+        &self,
+        store: &DocumentStore,
+        requests: &[(DocId, &str)],
+        mode: EvaluationMode,
+    ) -> Result<Vec<CorpusItem>, EngineError> {
+        requests
+            .iter()
+            .map(|&(id, query)| {
+                let doc = store.get(id).ok_or(EngineError::UnknownDocument(id))?;
+                let compiled = self.compile(query)?;
+                let index = match mode {
+                    EvaluationMode::HyPE => None,
+                    EvaluationMode::OptHyPE => Some(self.index_for_fingerprinted(
+                        &compiled,
+                        doc.tree(),
+                        doc.labels_fingerprint(),
+                        false,
+                    )),
+                    EvaluationMode::OptHyPEC => Some(self.index_for_fingerprinted(
+                        &compiled,
+                        doc.tree(),
+                        doc.labels_fingerprint(),
+                        true,
+                    )),
+                };
+                Ok((doc, compiled, index))
+            })
+            .collect()
     }
 
     /// The shared batch preamble of the sequential and parallel front-ends:
@@ -504,6 +595,27 @@ impl QueryService {
             index_cached: self.indexes.len(),
         }
     }
+}
+
+/// One resolved corpus request: the owning handles the borrowed
+/// [`CorpusTask`]s point into.
+type CorpusItem = (
+    Arc<StoredDocument>,
+    Arc<CompiledQuery>,
+    Option<Arc<ReachabilityIndex>>,
+);
+
+/// Borrows the resolved requests as [`CorpusTask`]s for the hype corpus
+/// engines (the `Arc`s in `items` keep everything alive across the call).
+fn corpus_tasks(items: &[CorpusItem]) -> Vec<CorpusTask<'_>> {
+    items
+        .iter()
+        .map(|(doc, compiled, index)| CorpusTask {
+            tree: doc.tree(),
+            compiled: Arc::clone(compiled.compiled()),
+            index: index.as_deref(),
+        })
+        .collect()
 }
 
 /// Pairs each distinct compilation with its (optional) index as a borrow
@@ -844,5 +956,98 @@ mod tests {
         let stats = service.stats();
         assert_eq!(stats.compiled_misses, 1, "all threads share one compilation");
         assert_eq!(stats.compiled_hits, 40);
+    }
+
+    #[test]
+    fn corpus_front_ends_agree_and_match_solo_evaluation() {
+        let store = DocumentStore::new();
+        let ids: Vec<DocId> = (1..=4).map(|s| store.insert_tree(doc(s))).collect();
+        let queries = ["patient", "patient/record/diagnosis", "patient[not(parent)]"];
+        let requests: Vec<(DocId, &str)> = ids
+            .iter()
+            .flat_map(|&id| queries.iter().map(move |&q| (id, q)))
+            .collect();
+        for mode in [
+            EvaluationMode::HyPE,
+            EvaluationMode::OptHyPE,
+            EvaluationMode::OptHyPEC,
+        ] {
+            let reference = QueryService::hospital_demo();
+            let sequential = reference.evaluate_corpus(&store, &requests, mode).unwrap();
+            assert_eq!(sequential.len(), requests.len());
+            for (result, &(id, query)) in sequential.iter().zip(&requests) {
+                let solo = reference
+                    .evaluate(query, store.get(id).unwrap().tree(), mode)
+                    .unwrap();
+                assert_eq!(result.answers, solo.answers, "on `{query}` ({mode:?})");
+                assert_eq!(result.stats, solo.stats, "on `{query}` ({mode:?})");
+            }
+            for threads in [1usize, 2, 8] {
+                let service = QueryService::with_config(
+                    SmoqeEngine::hospital_demo().view().clone(),
+                    ServiceConfig {
+                        parallel_threads: threads,
+                        ..ServiceConfig::default()
+                    },
+                )
+                .unwrap();
+                let parallel = service
+                    .evaluate_corpus_parallel(&store, &requests, mode)
+                    .unwrap();
+                assert_eq!(parallel, sequential, "thread budget {threads} ({mode:?})");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_requests_naming_unknown_documents_fail_typed() {
+        let service = QueryService::hospital_demo();
+        let store = DocumentStore::new();
+        let known = store.insert_tree(doc(1));
+        let missing = DocId(known.0 ^ 1);
+        let err = service
+            .evaluate_corpus(
+                &store,
+                &[(known, "patient"), (missing, "patient")],
+                EvaluationMode::HyPE,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownDocument(id) if id == missing));
+        assert!(err.to_string().contains("not in the store"));
+    }
+
+    #[test]
+    fn corpus_evaluation_shares_both_service_caches() {
+        let service = QueryService::hospital_demo();
+        let store = DocumentStore::new();
+        let a = store.insert_tree(doc(1));
+        let b = store.insert_tree(doc(2));
+        let requests = [
+            (a, "patient/record"),
+            (b, "patient/record"),
+            (a, "patient/record"),
+        ];
+        service
+            .evaluate_corpus(&store, &requests, EvaluationMode::OptHyPE)
+            .unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.compiled_misses, 1, "one spelling, one compilation");
+        assert_eq!(stats.compiled_hits, 2);
+        // doc(1) and doc(2) intern differently (see
+        // `indexes_are_shared_across_calls_and_documents_with_one_interner`),
+        // so two index builds; the repeated request for `a` hits.
+        assert_eq!(stats.index_misses, 2);
+        assert_eq!(stats.index_hits, 1);
+        // The fingerprint stored at insert time keys the very same cache the
+        // tree front-end computes its key into.
+        service
+            .evaluate(
+                "patient/record",
+                store.get(a).unwrap().tree(),
+                EvaluationMode::OptHyPE,
+            )
+            .unwrap();
+        assert_eq!(service.stats().index_misses, 2);
+        assert_eq!(service.stats().index_hits, 2);
     }
 }

@@ -1,0 +1,272 @@
+//! A many-document corpus store built on `smoqe_xml::snapshot`.
+//!
+//! The paper's serving setting is a *corpus* of security-view documents
+//! queried repeatedly. [`DocumentStore`] owns that corpus: each document is
+//! held as its parsed arena **plus** its binary snapshot, keyed by a
+//! content-addressed [`DocId`] (the snapshot body checksum), with the
+//! label-interner fingerprint precomputed so the query service's
+//! reachability-index cache is keyed without rehashing label tables on
+//! every request.
+//!
+//! Three ways in, one representation inside:
+//!
+//! * [`DocumentStore::insert_tree`] — an already-parsed [`XmlTree`]
+//!   (snapshotted on insert),
+//! * [`DocumentStore::insert_snapshot`] — validated snapshot bytes (the
+//!   fast path: no XML tokenization at all),
+//! * [`DocumentStore::insert_xml`] — raw XML text (parse, then snapshot).
+//!
+//! Because [`DocId`] is a content hash, re-inserting the same document —
+//! by any route — deduplicates to the existing entry. All methods take
+//! `&self` behind an [`RwLock`]: lookups (the hot path during corpus
+//! evaluation) take the read lock only.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use smoqe_xml::snapshot::{self, SnapshotError};
+use smoqe_xml::{labels_fingerprint, parse_document, ParseError, XmlTree};
+
+/// Content-addressed identifier of a stored document: the FNV-1a checksum
+/// of its snapshot body. Two structurally identical documents (same labels,
+/// same arena layout, same text) get the same id, whatever route they
+/// entered the store by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u64);
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc:{:016x}", self.0)
+    }
+}
+
+/// One resident document: the parsed arena ready for evaluation, the
+/// snapshot bytes it round-trips through, and the precomputed cache-key
+/// fingerprint of its label interner.
+#[derive(Debug)]
+pub struct StoredDocument {
+    tree: XmlTree,
+    labels_fingerprint: u64,
+    snapshot: Vec<u8>,
+}
+
+impl StoredDocument {
+    /// The parsed arena, evaluation-ready.
+    pub fn tree(&self) -> &XmlTree {
+        &self.tree
+    }
+
+    /// The stable fingerprint of the document's label-interner layout —
+    /// the reachability-index cache key half, precomputed at insert time.
+    pub fn labels_fingerprint(&self) -> u64 {
+        self.labels_fingerprint
+    }
+
+    /// The document's binary snapshot (format of `smoqe_xml::snapshot`);
+    /// suitable for writing to disk and re-inserting later via
+    /// [`DocumentStore::insert_snapshot`].
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.snapshot
+    }
+}
+
+/// A thread-safe corpus of snapshot-backed documents, keyed by content.
+///
+/// ```
+/// use smoqe::DocumentStore;
+///
+/// let store = DocumentStore::new();
+/// let id = store.insert_xml("<r><a>x</a></r>").unwrap();
+///
+/// // Content addressing: the same document deduplicates ...
+/// assert_eq!(store.insert_xml("<r><a>x</a></r>").unwrap(), id);
+/// assert_eq!(store.len(), 1);
+///
+/// // ... and the snapshot round-trips to the same id.
+/// let bytes = store.get(id).unwrap().snapshot_bytes().to_vec();
+/// assert_eq!(store.insert_snapshot(&bytes).unwrap(), id);
+/// ```
+#[derive(Debug, Default)]
+pub struct DocumentStore {
+    docs: RwLock<HashMap<DocId, Arc<StoredDocument>>>,
+}
+
+impl DocumentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts an already-parsed document, snapshotting it internally.
+    /// Returns the content-addressed id; re-inserting an identical document
+    /// returns the existing id without storing a second copy.
+    pub fn insert_tree(&self, tree: XmlTree) -> DocId {
+        let bytes = snapshot::save(&tree);
+        self.insert_parts(tree, bytes)
+    }
+
+    /// Validates `bytes` as a snapshot and inserts the document it encodes.
+    /// This is the no-tokenizer ingest path: corrupted, truncated or
+    /// wrong-version input is rejected with a typed [`SnapshotError`].
+    pub fn insert_snapshot(&self, bytes: &[u8]) -> Result<DocId, SnapshotError> {
+        let tree = snapshot::load(bytes)?;
+        Ok(self.insert_parts(tree, bytes.to_vec()))
+    }
+
+    /// Parses `xml` and inserts the resulting document.
+    pub fn insert_xml(&self, xml: &str) -> Result<DocId, ParseError> {
+        Ok(self.insert_tree(parse_document(xml)?))
+    }
+
+    fn insert_parts(&self, tree: XmlTree, bytes: Vec<u8>) -> DocId {
+        let header = snapshot::peek_header(&bytes).expect("save/load produce valid snapshots");
+        let id = DocId(header.body_checksum);
+        debug_assert_eq!(header.labels_fingerprint, labels_fingerprint(tree.labels()));
+        let mut docs = self.docs.write().unwrap_or_else(|p| p.into_inner());
+        docs.entry(id).or_insert_with(|| {
+            Arc::new(StoredDocument {
+                labels_fingerprint: header.labels_fingerprint,
+                tree,
+                snapshot: bytes,
+            })
+        });
+        id
+    }
+
+    /// Looks up a document by id. The returned `Arc` stays valid however
+    /// the store changes afterwards.
+    pub fn get(&self, id: DocId) -> Option<Arc<StoredDocument>> {
+        self.docs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// `true` if `id` is present.
+    pub fn contains(&self, id: DocId) -> bool {
+        self.docs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .contains_key(&id)
+    }
+
+    /// Number of distinct documents stored.
+    pub fn len(&self) -> usize {
+        self.docs.read().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// `true` if the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All stored ids, sorted (deterministic iteration for tests and
+    /// benchmarks).
+    pub fn ids(&self) -> Vec<DocId> {
+        let mut ids: Vec<DocId> = self
+            .docs
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Removes a document, returning whether it was present.
+    pub fn remove(&self, id: DocId) -> bool {
+        self.docs
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id)
+            .is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smoqe_xml::snapshot::SnapshotError;
+
+    #[test]
+    fn insert_routes_agree_on_ids_and_content() {
+        let store = DocumentStore::new();
+        let xml = "<hospital><department><patient><pname>Ann</pname></patient></department></hospital>";
+        let by_xml = store.insert_xml(xml).unwrap();
+        let by_tree = store.insert_tree(parse_document(xml).unwrap());
+        assert_eq!(by_xml, by_tree);
+        let bytes = store.get(by_xml).unwrap().snapshot_bytes().to_vec();
+        let by_snapshot = store.insert_snapshot(&bytes).unwrap();
+        assert_eq!(by_xml, by_snapshot);
+        assert_eq!(store.len(), 1);
+
+        let doc = store.get(by_xml).unwrap();
+        assert_eq!(doc.tree().len(), 4);
+        assert_eq!(
+            doc.labels_fingerprint(),
+            labels_fingerprint(doc.tree().labels())
+        );
+    }
+
+    #[test]
+    fn different_documents_get_different_ids() {
+        let store = DocumentStore::new();
+        let a = store.insert_xml("<r><a/></r>").unwrap();
+        let b = store.insert_xml("<r><b/></r>").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ids(), {
+            let mut v = vec![a, b];
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn missing_ids_and_removal() {
+        let store = DocumentStore::new();
+        let id = store.insert_xml("<r/>").unwrap();
+        assert!(store.contains(id));
+        assert!(!store.contains(DocId(id.0 ^ 1)));
+        assert!(store.get(DocId(id.0 ^ 1)).is_none());
+        assert!(store.remove(id));
+        assert!(!store.remove(id));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let store = DocumentStore::new();
+        assert!(matches!(
+            store.insert_snapshot(b"not a snapshot"),
+            Err(SnapshotError::Truncated { .. })
+        ));
+        let id = store.insert_xml("<r><a>x</a></r>").unwrap();
+        let mut bytes = store.get(id).unwrap().snapshot_bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        assert!(store.insert_snapshot(&bytes).is_err());
+        assert_eq!(store.len(), 1, "rejected snapshots are not stored");
+    }
+
+    #[test]
+    fn store_is_usable_from_many_threads() {
+        let store = std::sync::Arc::new(DocumentStore::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        let xml = format!("<r><a>{}</a></r>", (t + i) % 6);
+                        let id = store.insert_xml(&xml).unwrap();
+                        assert!(store.get(id).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 6, "content addressing deduplicates across threads");
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use smoqe_xml::hospital::{hospital_document_dtd, hospital_view_dtd, HEART_DISEASE};
-use smoqe_xml::{ContentModel, Dtd};
+use smoqe_xml::{fingerprint_content_model, ContentModel, Dtd};
 use smoqe_xpath::{expand_on_dtd, parse_path, ParseQueryError, Path};
 
 /// Errors raised while building or validating a view definition.
@@ -193,7 +193,10 @@ impl ViewDefinition {
             for ty in types {
                 h = fingerprint_field(h, ty.as_bytes());
                 if let Some(model) = dtd.production(ty) {
-                    h = fingerprint_field(h, format!("{model:?}").as_bytes());
+                    // Canonical tagged encoding — never `Debug` output, which
+                    // is not a serialization contract and could drift across
+                    // refactors, silently invalidating or aliasing cache keys.
+                    h = fingerprint_content_model(h, model);
                 }
             }
         }
@@ -232,22 +235,12 @@ impl ViewDefinition {
     }
 }
 
-/// The FNV-1a offset basis, the starting value for every stable fingerprint
-/// in the workspace (see [`fingerprint_field`]).
-pub const FINGERPRINT_SEED: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Folds one length-delimited field into a stable FNV-1a fingerprint:
-/// hashes `bytes`, then a `\x1f` unit separator so adjacent fields cannot
-/// alias (`"ab" + "c"` vs `"a" + "bc"`). Shared by
-/// [`ViewDefinition::fingerprint`] and the query service's document-label
-/// fingerprints, which must never drift apart — both feed the same cache
-/// key scheme.
-pub fn fingerprint_field(h: u64, bytes: &[u8]) -> u64 {
-    let h = bytes
-        .iter()
-        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3));
-    (h ^ 0x1f).wrapping_mul(0x100_0000_01b3)
-}
+// The FNV-1a primitives moved to `smoqe_xml::fingerprint` so the snapshot
+// subsystem, the query service's document-label fingerprints, and view
+// fingerprints all share one implementation; these re-exports keep the
+// long-standing `smoqe_views::{FINGERPRINT_SEED, fingerprint_field}` paths
+// working.
+pub use smoqe_xml::{fingerprint_field, FINGERPRINT_SEED};
 
 /// Builds the running example σ₀ of Fig. 1(c): the heart-disease research
 /// view over the hospital document DTD.
@@ -370,6 +363,15 @@ mod tests {
             .annotate_str("hospital", "patient", "department/patient")
             .unwrap();
         assert_ne!(a.fingerprint(), partial.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_golden_value_is_locked() {
+        // Golden value for σ₀ under the canonical content-model encoding
+        // (fingerprint format v1, smoqe_xml::fingerprint). If this changes,
+        // every persisted cache key and snapshot fingerprint changes with
+        // it — bump deliberately, never accidentally.
+        assert_eq!(hospital_view().fingerprint(), 0x455a_1fb1_4ae6_96a4);
     }
 
     #[test]

@@ -26,18 +26,24 @@
 pub mod dtd;
 pub mod dtd_parse;
 pub mod error;
+pub mod fingerprint;
 pub mod hospital;
 pub mod label;
 pub mod parse;
 pub mod serialize;
+pub mod snapshot;
 pub mod stream;
 pub mod tree;
 
 pub use dtd::{Child, ContentModel, Dtd, DtdGraph};
 pub use dtd_parse::{parse_dtd, parse_dtd_with_root, to_dtd_string};
 pub use error::{ParseError, XmlError};
+pub use fingerprint::{
+    fingerprint_content_model, fingerprint_field, labels_fingerprint, FINGERPRINT_SEED,
+};
 pub use label::{LabelId, LabelInterner};
 pub use parse::parse_document;
 pub use serialize::{to_xml_string, to_xml_string_pretty};
+pub use snapshot::{SnapshotError, SnapshotHeader};
 pub use stream::{EventSource, TreeEvents, XmlEvent, XmlStreamReader};
 pub use tree::{node_allocations, NodeId, XmlTree, XmlTreeBuilder};

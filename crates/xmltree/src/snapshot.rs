@@ -1,0 +1,533 @@
+//! Compact, versioned binary snapshots of parsed [`XmlTree`] arenas.
+//!
+//! Parsing XML text is by far the most expensive way to obtain a document:
+//! the corpus workloads of the paper's Section 7 evaluation query the same
+//! security-view documents over and over, so re-tokenizing them per run is
+//! pure waste. A snapshot stores the *parsed* arena — the exact layout the
+//! compiled engines iterate — so loading one is a single validated pass
+//! that rebuilds the arena without ever touching an XML tokenizer.
+//!
+//! # Byte layout (format version 1)
+//!
+//! All integers are little-endian. The file is header + body; the body is
+//! three sections laid out back to back:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      0     8  magic  b"SMOQSNAP"
+//!      8     4  format version (u32) = 1
+//!     12     4  node_count  (u32, >= 1)
+//!     16     4  label_count (u32)
+//!     20     4  root node id (u32, always 0 in version 1)
+//!     24     8  labels_fingerprint (u64) — fingerprint::labels_fingerprint
+//!     32     8  text_blob_len (u64)
+//!     40     8  body_checksum (u64) — FNV-1a over every byte after the header
+//!     48     …  label table: label_count × { len: u32, UTF-8 name bytes }
+//!               in LabelId order
+//!      …     …  node table:  node_count × { label: u32,
+//!                                           parent: u32  (0xFFFF_FFFF = none),
+//!                                           text_len: u32 (0xFFFF_FFFF = none) }
+//!               in arena (pre-)order; text offsets are implicit — the
+//!               running sum of preceding text_lens
+//!      …     …  text blob: all PCDATA, concatenated in node order
+//! ```
+//!
+//! Children lists are **not** stored: the builder/parser invariant that every
+//! child id is greater than its parent's and that each parent's child list is
+//! ascending means a single forward scan over the parent column reconstructs
+//! every child list exactly. That keeps the node record at a fixed 12 bytes.
+//!
+//! # Guarantees
+//!
+//! * [`load`]`(`[`save`]`(t))` rebuilds an arena identical to `t`: same node
+//!   ids, labels, label-interner layout (and hence the same
+//!   [`labels_fingerprint`], so cached
+//!   reachability indexes keyed on it are shared), same text, same children.
+//! * Loading goes through [`XmlTreeBuilder`], so the process-wide
+//!   [`node_allocations`](crate::node_allocations) counter stays honest.
+//! * Corrupted, truncated, or wrong-version input yields a typed
+//!   [`SnapshotError`] — never a panic.
+//! * [`peek_header`] validates and decodes the fixed-size header in O(1),
+//!   for cheap corpus cataloguing without materializing trees.
+
+use crate::fingerprint::{labels_fingerprint, FINGERPRINT_SEED};
+use crate::label::LabelId;
+use crate::tree::{NodeId, XmlTree, XmlTreeBuilder};
+
+/// The eight magic bytes every snapshot starts with.
+pub const MAGIC: [u8; 8] = *b"SMOQSNAP";
+
+/// The snapshot format version written by [`save`] and accepted by [`load`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size in bytes of the fixed snapshot header.
+pub const HEADER_LEN: usize = 48;
+
+/// Sentinel `u32` meaning "absent" in the parent and text-length columns.
+const NONE_U32: u32 = u32::MAX;
+
+/// The decoded fixed-size header of a snapshot (see the module docs for the
+/// byte layout). Obtained in O(1) via [`peek_header`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Format version of the snapshot ([`FORMAT_VERSION`] for writable ones).
+    pub version: u32,
+    /// Number of element nodes in the stored arena.
+    pub node_count: u32,
+    /// Number of distinct labels in the stored interner.
+    pub label_count: u32,
+    /// Arena id of the root node.
+    pub root: NodeId,
+    /// Stable fingerprint of the label-interner layout
+    /// ([`crate::labels_fingerprint`]); the reachability-index cache key.
+    pub labels_fingerprint: u64,
+    /// Total size in bytes of the concatenated PCDATA blob.
+    pub text_blob_len: u64,
+    /// FNV-1a checksum over the snapshot body (everything after the header).
+    pub body_checksum: u64,
+}
+
+/// Errors raised while decoding a snapshot. Loading never panics on
+/// malformed input; every rejection is one of these typed cases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The input ended before the advertised structure was complete.
+    Truncated {
+        /// Bytes required to make progress.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The input does not start with the [`MAGIC`] bytes.
+    BadMagic,
+    /// The snapshot was written by an unknown format version.
+    UnsupportedVersion(u32),
+    /// The body checksum does not match the header's.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed over the body.
+        computed: u64,
+    },
+    /// The snapshot is structurally inconsistent.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated { needed, have } => {
+                write!(f, "truncated snapshot: needed {needed} bytes, have {have}")
+            }
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic bytes"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (expected {FORMAT_VERSION})")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot body checksum mismatch: header says {stored:#018x}, body hashes to {computed:#018x}"
+            ),
+            SnapshotError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a over a byte slice, seeded like every other fingerprint in the
+/// workspace; used for the body checksum (and as the content-addressed
+/// document id in `smoqe`'s `DocumentStore`).
+pub fn body_checksum(body: &[u8]) -> u64 {
+    body.iter()
+        .fold(FINGERPRINT_SEED, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Serializes `tree` into a version-[`FORMAT_VERSION`] snapshot.
+pub fn save(tree: &XmlTree) -> Vec<u8> {
+    let node_count = tree.len();
+    let label_count = tree.labels().len();
+    debug_assert!(node_count <= u32::MAX as usize);
+
+    // Body: label table.
+    let mut body = Vec::with_capacity(node_count * 12 + label_count * 12);
+    for (_, name) in tree.labels().iter() {
+        body.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        body.extend_from_slice(name.as_bytes());
+    }
+
+    // Body: node table (children implicit — see module docs).
+    let mut text_blob_len = 0u64;
+    for id in tree.node_ids() {
+        let node = tree.node(id);
+        debug_assert!(
+            node.children.windows(2).all(|w| w[0] < w[1]) && node.children.first().map_or(true, |&c| c > id),
+            "arena child lists must be ascending and parent-before-child"
+        );
+        body.extend_from_slice(&node.label.0.to_le_bytes());
+        body.extend_from_slice(&node.parent.map_or(NONE_U32, |p| p.0).to_le_bytes());
+        let text_len = match tree.text(id) {
+            Some(t) => {
+                text_blob_len += t.len() as u64;
+                t.len() as u32
+            }
+            None => NONE_U32,
+        };
+        body.extend_from_slice(&text_len.to_le_bytes());
+    }
+
+    // Body: text blob.
+    for id in tree.node_ids() {
+        if let Some(t) = tree.text(id) {
+            body.extend_from_slice(t.as_bytes());
+        }
+    }
+
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(node_count as u32).to_le_bytes());
+    out.extend_from_slice(&(label_count as u32).to_le_bytes());
+    out.extend_from_slice(&tree.root().0.to_le_bytes());
+    out.extend_from_slice(&labels_fingerprint(tree.labels()).to_le_bytes());
+    out.extend_from_slice(&text_blob_len.to_le_bytes());
+    out.extend_from_slice(&body_checksum(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates and decodes the fixed-size header of `bytes` in O(1).
+///
+/// Only the magic and length of the header itself are checked; the body is
+/// untouched (use [`load`] to verify the checksum and structure). Unknown
+/// versions are *returned*, not rejected, so callers can catalogue snapshots
+/// written by newer formats.
+pub fn peek_header(bytes: &[u8]) -> Result<SnapshotHeader, SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            needed: HEADER_LEN,
+            have: bytes.len(),
+        });
+    }
+    if bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    Ok(SnapshotHeader {
+        version: u32_at(8),
+        node_count: u32_at(12),
+        label_count: u32_at(16),
+        root: NodeId(u32_at(20)),
+        labels_fingerprint: u64_at(24),
+        text_blob_len: u64_at(32),
+        body_checksum: u64_at(40),
+    })
+}
+
+/// A checked cursor over the snapshot body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or(SnapshotError::Corrupt(
+            "section length overflows".to_owned(),
+        ))?;
+        if end > self.bytes.len() {
+            return Err(SnapshotError::Truncated {
+                needed: end,
+                have: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+/// Decodes a snapshot produced by [`save`] back into an [`XmlTree`].
+///
+/// The arena is rebuilt through [`XmlTreeBuilder`] in the original node
+/// order, so node ids, label ids, children lists and the label-interner
+/// layout all come back identical to the saved tree. Every structural
+/// invariant is validated before construction; malformed input returns a
+/// [`SnapshotError`] and never panics.
+pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
+    let header = peek_header(bytes)?;
+    if header.version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(header.version));
+    }
+    if header.node_count == 0 {
+        return Err(SnapshotError::Corrupt("snapshot has zero nodes".to_owned()));
+    }
+    if header.root != NodeId(0) {
+        return Err(SnapshotError::Corrupt(format!(
+            "root must be node 0 in format version 1, found {}",
+            header.root.0
+        )));
+    }
+
+    let body = &bytes[HEADER_LEN..];
+    let computed = body_checksum(body);
+    if computed != header.body_checksum {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: header.body_checksum,
+            computed,
+        });
+    }
+
+    let mut cur = Cursor { bytes: body, pos: 0 };
+
+    // Label table: pre-intern in id order so LabelIds survive the trip.
+    let mut builder = XmlTreeBuilder::new();
+    let mut names = Vec::with_capacity(header.label_count as usize);
+    for i in 0..header.label_count {
+        let len = cur.u32()? as usize;
+        let raw = cur.take(len)?;
+        let name = std::str::from_utf8(raw)
+            .map_err(|_| SnapshotError::Corrupt(format!("label {i} is not valid UTF-8")))?;
+        let id = builder.labels_mut().intern(name);
+        if id != LabelId(i) {
+            return Err(SnapshotError::Corrupt(format!(
+                "duplicate label {name:?} in label table"
+            )));
+        }
+        names.push(name.to_owned());
+    }
+    let computed_labels = labels_fingerprint(builder.labels_mut());
+    if computed_labels != header.labels_fingerprint {
+        return Err(SnapshotError::Corrupt(format!(
+            "label-table fingerprint {computed_labels:#018x} does not match header \
+             {:#018x}",
+            header.labels_fingerprint
+        )));
+    }
+
+    // Node table: validate every record before building, tracking the
+    // running text offset implied by the text-length column.
+    struct Record {
+        label: LabelId,
+        parent: Option<NodeId>,
+        text: Option<(usize, usize)>, // (offset, len) into the text blob
+    }
+    let mut records = Vec::with_capacity(header.node_count as usize);
+    let mut text_off = 0usize;
+    for i in 0..header.node_count {
+        let label = cur.u32()?;
+        let parent = cur.u32()?;
+        let text_len = cur.u32()?;
+        if label >= header.label_count {
+            return Err(SnapshotError::Corrupt(format!(
+                "node {i} references label {label} out of {}",
+                header.label_count
+            )));
+        }
+        let parent = if parent == NONE_U32 {
+            if i != 0 {
+                return Err(SnapshotError::Corrupt(format!(
+                    "non-root node {i} has no parent"
+                )));
+            }
+            None
+        } else {
+            if i == 0 {
+                return Err(SnapshotError::Corrupt("root node has a parent".to_owned()));
+            }
+            if parent >= i {
+                return Err(SnapshotError::Corrupt(format!(
+                    "node {i} has parent {parent}, violating parent-before-child order"
+                )));
+            }
+            Some(NodeId(parent))
+        };
+        let text = if text_len == NONE_U32 {
+            None
+        } else {
+            let span = (text_off, text_len as usize);
+            text_off += text_len as usize;
+            Some(span)
+        };
+        records.push(Record {
+            label: LabelId(label),
+            parent,
+            text,
+        });
+    }
+    if text_off as u64 != header.text_blob_len {
+        return Err(SnapshotError::Corrupt(format!(
+            "text lengths sum to {text_off} but header says {}",
+            header.text_blob_len
+        )));
+    }
+
+    // Text blob — must consume the rest of the input exactly.
+    let blob = cur.take(text_off)?;
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the text blob",
+            body.len() - cur.pos
+        )));
+    }
+
+    // Rebuild through the builder: ids are assigned densely in the same
+    // order, and appending children parent-by-parent in id order reproduces
+    // the original (ascending) child lists exactly.
+    for (i, rec) in records.iter().enumerate() {
+        let id = match rec.parent {
+            None => builder.root(&names[rec.label.index()]),
+            Some(p) => builder.child_interned(p, rec.label),
+        };
+        debug_assert_eq!(id, NodeId(i as u32));
+        if let Some((off, len)) = rec.text {
+            let text = std::str::from_utf8(&blob[off..off + len]).map_err(|_| {
+                SnapshotError::Corrupt(format!("text of node {i} is not valid UTF-8"))
+            })?;
+            builder.set_text(id, text);
+        }
+    }
+    Ok(builder.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_document;
+
+    fn sample() -> XmlTree {
+        parse_document(
+            "<hospital><department><patient><pname>Alice &amp; Bob</pname>\
+             <visit/></patient></department><department/></hospital>",
+        )
+        .unwrap()
+    }
+
+    fn assert_trees_identical(a: &XmlTree, b: &XmlTree) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a.labels().len(), b.labels().len());
+        for (la, lb) in a.labels().iter().zip(b.labels().iter()) {
+            assert_eq!(la, lb);
+        }
+        for id in a.node_ids() {
+            assert_eq!(a.label(id), b.label(id));
+            assert_eq!(a.parent(id), b.parent(id));
+            assert_eq!(a.children(id), b.children(id));
+            assert_eq!(a.text(id), b.text(id));
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let t = sample();
+        let bytes = save(&t);
+        let t2 = load(&bytes).unwrap();
+        assert_trees_identical(&t, &t2);
+        t2.check_consistency().unwrap();
+        assert_eq!(save(&t2), bytes, "save is deterministic across a round-trip");
+    }
+
+    #[test]
+    fn header_reflects_the_tree() {
+        let t = sample();
+        let bytes = save(&t);
+        let h = peek_header(&bytes).unwrap();
+        assert_eq!(h.version, FORMAT_VERSION);
+        assert_eq!(h.node_count as usize, t.len());
+        assert_eq!(h.label_count as usize, t.labels().len());
+        assert_eq!(h.root, t.root());
+        assert_eq!(h.labels_fingerprint, labels_fingerprint(t.labels()));
+        assert_eq!(h.body_checksum, body_checksum(&bytes[HEADER_LEN..]));
+    }
+
+    #[test]
+    fn load_counts_node_allocations() {
+        let t = sample();
+        let bytes = save(&t);
+        let before = crate::tree::node_allocations();
+        let t2 = load(&bytes).unwrap();
+        assert_eq!(crate::tree::node_allocations() - before, t2.len() as u64);
+    }
+
+    #[test]
+    fn empty_and_missing_text_are_distinguished() {
+        let mut b = XmlTreeBuilder::new();
+        let root = b.root("r");
+        let a = b.child_with_text(root, "a", "");
+        let c = b.child(root, "b");
+        let t = b.finish();
+        let t2 = load(&save(&t)).unwrap();
+        assert_eq!(t2.text(a), Some(""));
+        assert_eq!(t2.text(c), None);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = save(&sample());
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN, HEADER_LEN + 3, bytes.len() - 1] {
+            let err = load(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = save(&sample());
+        bytes[0] ^= 0xff;
+        assert_eq!(load(&bytes).unwrap_err(), SnapshotError::BadMagic);
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected_but_peekable() {
+        let mut bytes = save(&sample());
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            load(&bytes).unwrap_err(),
+            SnapshotError::UnsupportedVersion(99)
+        );
+        assert_eq!(peek_header(&bytes).unwrap().version, 99);
+    }
+
+    #[test]
+    fn flipped_body_byte_fails_the_checksum() {
+        let mut bytes = save(&sample());
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            load(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = save(&sample());
+        bytes.push(0);
+        // The checksum catches the extension first; both are typed errors.
+        assert!(matches!(
+            load(&bytes).unwrap_err(),
+            SnapshotError::ChecksumMismatch { .. } | SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn errors_display_and_compare() {
+        let e = SnapshotError::UnsupportedVersion(7);
+        assert!(e.to_string().contains('7'));
+        assert_eq!(e.clone(), e);
+        let t = SnapshotError::Truncated { needed: 48, have: 3 };
+        assert!(t.to_string().contains("48"));
+    }
+}

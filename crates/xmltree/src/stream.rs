@@ -111,8 +111,13 @@ pub struct XmlStreamReader<R> {
     name_buf: String,
     /// Backing storage for the text borrowed by [`XmlEvent::Text`].
     text_buf: String,
-    /// Raw byte accumulator for the current text run.
+    /// Raw byte accumulator for the current text *fragment* (up to the next
+    /// markup of any kind).
     raw_text: Vec<u8>,
+    /// Unescaped accumulator for the current text *run* (fragments joined
+    /// across comments/PIs, each unescaped on its own — see
+    /// [`Self::flush_fragment`]).
+    text_acc: String,
 }
 
 impl<R: Read> XmlStreamReader<R> {
@@ -132,6 +137,7 @@ impl<R: Read> XmlStreamReader<R> {
             name_buf: String::new(),
             text_buf: String::new(),
             raw_text: Vec::new(),
+            text_acc: String::new(),
         }
     }
 
@@ -310,10 +316,29 @@ impl<R: Read> XmlStreamReader<R> {
         Ok(())
     }
 
+    /// Unescapes the raw fragment gathered so far and appends it to the
+    /// run accumulator.
+    ///
+    /// The tree parser unescapes each fragment **separately** (its `text()`
+    /// runs once per stretch between markup), so an entity reference split
+    /// by a comment — `a&am<!-- -->p;b` — stays the literal `a&amp;b` rather
+    /// than collapsing to `a&b`. Unescaping the joined raw bytes once would
+    /// silently diverge from `parse_document` on exactly those inputs, which
+    /// the reader-vs-tree property test now covers.
+    fn flush_fragment(&mut self) {
+        if self.raw_text.is_empty() {
+            return;
+        }
+        let raw = String::from_utf8_lossy(&self.raw_text);
+        self.text_acc.push_str(&unescape(&raw));
+        self.raw_text.clear();
+    }
+
     /// Accumulates the text run at the cursor (spanning comments and PIs)
     /// into `text_buf`. Returns `true` if a non-whitespace run was produced.
     fn read_text_run(&mut self) -> Result<bool, ParseError> {
         self.raw_text.clear();
+        self.text_acc.clear();
         loop {
             if self.byte_at(0)?.is_none() {
                 break;
@@ -324,8 +349,17 @@ impl<R: Read> XmlStreamReader<R> {
                     self.raw_text.extend_from_slice(&self.buf[self.pos..self.pos + k]);
                     self.pos += k;
                     match self.byte_at(1)? {
-                        Some(b'?') => self.skip_until(b"?>")?,
-                        Some(b'!') => self.skip_markup_declaration()?,
+                        // Comments and PIs end a fragment (but not the run):
+                        // unescape what we have before skipping the markup,
+                        // exactly like the tree parser's per-fragment text().
+                        Some(b'?') => {
+                            self.flush_fragment();
+                            self.skip_until(b"?>")?;
+                        }
+                        Some(b'!') => {
+                            self.flush_fragment();
+                            self.skip_markup_declaration()?;
+                        }
                         _ => break,
                     }
                 }
@@ -335,10 +369,11 @@ impl<R: Read> XmlStreamReader<R> {
                 }
             }
         }
+        self.flush_fragment();
         if self.open.is_empty() {
             // Top-level text: ignored before the root (like the tree
             // parser), an error after it.
-            if self.root_closed && !self.raw_text.iter().all(u8::is_ascii_whitespace) {
+            if self.root_closed && !self.text_acc.trim().is_empty() {
                 return Err(ParseError::TrailingContent(self.offset()));
             }
             return Ok(false);
@@ -349,9 +384,7 @@ impl<R: Read> XmlStreamReader<R> {
         if self.byte_at(0)? == Some(b'<') && self.byte_at(1)? != Some(b'/') {
             return Ok(false);
         }
-        let raw = String::from_utf8_lossy(&self.raw_text);
-        let unescaped = unescape(&raw);
-        let trimmed = unescaped.trim();
+        let trimmed = self.text_acc.trim();
         if trimmed.is_empty() {
             return Ok(false);
         }
@@ -594,6 +627,58 @@ mod tests {
             read_events("<a/>junk").unwrap_err(),
             ParseError::TrailingContent(_)
         ));
+    }
+
+    #[test]
+    fn entities_split_by_comments_match_the_tree_parser() {
+        // The tree parser unescapes per fragment, so a comment interrupting
+        // `&amp;` leaves the literal characters `a&amp;b` — the reader must
+        // not join the raw fragments first and unescape them to `a&b`.
+        for (xml, expected) in [
+            ("<r><a>a&am<!-- split -->p;b</a></r>", "a&amp;b"),
+            ("<r><a>a&am<?pi?>p;b</a></r>", "a&amp;b"),
+            ("<r><a>x&lt;<!-- c -->&gt;y</a></r>", "x<>y"),
+            ("<r><a>&amp;<!-- c -->&amp;</a></r>", "&&"),
+        ] {
+            let tree = parse_document(xml).unwrap();
+            let a = tree.children(tree.root())[0];
+            assert_eq!(tree.text(a), Some(expected), "tree parser on {xml:?}");
+            let events = read_events(xml).unwrap();
+            assert!(
+                events.contains(&Owned::Text(expected.into())),
+                "stream reader diverged from tree parser on {xml:?}: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn escaped_text_round_trips_through_serialize_parse_serialize() {
+        for text in [
+            "a&amp;b",       // literal characters a & a m p ; b
+            "a & b",         // lone ampersand
+            "x < y > z",
+            "\"quoted\" and 'apos'",
+            "line1\nline2",
+            "cr\r\nlf inside", // interior CR/LF must survive untouched
+            "tab\tseparated",
+            "]]> not special here",
+        ] {
+            let mut b = XmlTreeBuilder::new();
+            let root = b.root("r");
+            b.child_with_text(root, "a", text);
+            let tree = b.finish();
+            let xml = to_xml_string(&tree);
+            let reparsed = parse_document(&xml).unwrap();
+            let a = reparsed.children(reparsed.root())[0];
+            assert_eq!(reparsed.text(a), Some(text), "parse drift on {text:?}");
+            assert_eq!(to_xml_string(&reparsed), xml, "serialize drift on {text:?}");
+            // And the stream reader agrees with the reparsed tree.
+            let events = read_events(&xml).unwrap();
+            assert!(
+                events.contains(&Owned::Text(text.into())),
+                "stream reader drift on {text:?}: {events:?}"
+            );
+        }
     }
 
     #[test]

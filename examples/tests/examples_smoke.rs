@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "query_service",
     "parallel_service",
     "streaming",
+    "corpus_store",
 ];
 
 #[test]

@@ -1,0 +1,195 @@
+//! Differential suite for the across-documents corpus axis (PR 6).
+//!
+//! The acceptance bar: [`evaluate_corpus_parallel`] must be
+//! **bit-identical** to the sequential loop — same answer sets, same
+//! per-pair [`HypeStats`](smoqe_hype::HypeStats) — at thread budgets
+//! {1, 2, 8}, at both layers (raw `smoqe_hype` engines over compiled MFAs,
+//! and the `QueryService` front-ends over a [`DocumentStore`]), in all
+//! three evaluation modes. The corpus itself goes through snapshot bytes
+//! on its way into the store, so this suite also exercises the PR's
+//! save→load path end to end.
+
+use std::sync::Arc;
+
+use integration_tests::{document_query_corpus, standard_hospital_document};
+
+use smoqe::{DocumentStore, EvaluationMode, QueryService, ServiceConfig, SmoqeEngine};
+use smoqe_automata::compile_query;
+use smoqe_hype::{evaluate_corpus, evaluate_corpus_parallel, CompiledMfa, CorpusTask, ReachabilityIndex};
+use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_xml::hospital::hospital_document_dtd;
+use smoqe_xml::{snapshot, XmlTree};
+use smoqe_xpath::parse_path;
+
+const THREAD_BUDGETS: [usize; 3] = [1, 2, 8];
+
+fn corpus_documents() -> Vec<XmlTree> {
+    let mut docs = vec![standard_hospital_document()];
+    for seed in 1..=5 {
+        docs.push(generate_hospital(&HospitalConfig {
+            patients: 8 + 3 * seed as usize,
+            seed,
+            max_ancestor_depth: 2,
+            heart_disease_fraction: 0.35,
+            ..Default::default()
+        }));
+    }
+    docs
+}
+
+#[test]
+fn hype_corpus_parallel_is_bit_identical_to_sequential() {
+    let docs = corpus_documents();
+    let queries = document_query_corpus();
+    let compiled: Vec<_> = queries
+        .iter()
+        .map(|q| Arc::new(CompiledMfa::new(&compile_query(&parse_path(q).unwrap()))))
+        .collect();
+
+    // Every (document, query) pair, unindexed.
+    let tasks: Vec<CorpusTask> = docs
+        .iter()
+        .flat_map(|doc| {
+            compiled
+                .iter()
+                .map(move |c| CorpusTask::new(doc, Arc::clone(c)))
+        })
+        .collect();
+    let sequential = evaluate_corpus(&tasks);
+    assert_eq!(sequential.len(), docs.len() * queries.len());
+    for threads in THREAD_BUDGETS {
+        let parallel = evaluate_corpus_parallel(&tasks, threads);
+        assert_eq!(parallel, sequential, "unindexed corpus at {threads} threads");
+    }
+}
+
+#[test]
+fn hype_corpus_parallel_is_bit_identical_with_reachability_indexes() {
+    let docs = corpus_documents();
+    let dtd = hospital_document_dtd();
+    let queries = document_query_corpus();
+
+    // One index per (document, query): each document has its own interner.
+    let mfas: Vec<_> = queries
+        .iter()
+        .map(|q| compile_query(&parse_path(q).unwrap()))
+        .collect();
+    let compiled: Vec<_> = mfas.iter().map(|m| Arc::new(CompiledMfa::new(m))).collect();
+    let mut indexes: Vec<ReachabilityIndex> = Vec::new();
+    for doc in &docs {
+        for m in &mfas {
+            indexes.push(ReachabilityIndex::new(m, &dtd, doc.labels()));
+        }
+    }
+    let per_doc = queries.len();
+    let mut tasks: Vec<CorpusTask> = Vec::new();
+    for (d, doc) in docs.iter().enumerate() {
+        for (q, c) in compiled.iter().enumerate() {
+            tasks.push(CorpusTask::with_index(
+                doc,
+                Arc::clone(c),
+                &indexes[d * per_doc + q],
+            ));
+        }
+    }
+
+    let sequential = evaluate_corpus(&tasks);
+    for threads in THREAD_BUDGETS {
+        let parallel = evaluate_corpus_parallel(&tasks, threads);
+        assert_eq!(parallel, sequential, "indexed corpus at {threads} threads");
+    }
+}
+
+#[test]
+fn service_corpus_parallel_is_bit_identical_in_every_mode() {
+    // Ingest through snapshot bytes, exercising the save→load path.
+    let store = DocumentStore::new();
+    let ids: Vec<_> = corpus_documents()
+        .into_iter()
+        .map(|doc| {
+            let bytes = snapshot::save(&doc);
+            store.insert_snapshot(&bytes).expect("saved snapshots load")
+        })
+        .collect();
+    assert_eq!(store.len(), ids.len(), "corpus documents are all distinct");
+
+    let queries = ["patient", "patient/record/diagnosis", "patient[not(parent)]", "//visit"];
+    let requests: Vec<_> = ids
+        .iter()
+        .flat_map(|&id| queries.iter().map(move |&q| (id, q)))
+        .collect();
+
+    for mode in [
+        EvaluationMode::HyPE,
+        EvaluationMode::OptHyPE,
+        EvaluationMode::OptHyPEC,
+    ] {
+        let reference = QueryService::hospital_demo();
+        let sequential = reference.evaluate_corpus(&store, &requests, mode).unwrap();
+        for threads in THREAD_BUDGETS {
+            let service = QueryService::with_config(
+                SmoqeEngine::hospital_demo().view().clone(),
+                ServiceConfig {
+                    parallel_threads: threads,
+                    ..ServiceConfig::default()
+                },
+            )
+            .unwrap();
+            let parallel = service
+                .evaluate_corpus_parallel(&store, &requests, mode)
+                .unwrap();
+            assert_eq!(
+                parallel, sequential,
+                "service corpus at {threads} threads ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_results_track_request_order_not_completion_order() {
+    // Skewed corpus: one large document among tiny ones. Whatever worker
+    // finishes first, results must come back in request order.
+    let store = DocumentStore::new();
+    let big = store.insert_tree(generate_hospital(&HospitalConfig {
+        patients: 120,
+        seed: 42,
+        ..Default::default()
+    }));
+    let tiny: Vec<_> = (0..6)
+        .map(|i| {
+            store
+                .insert_xml(&format!("<hospital><department><patient><pname>p{i}</pname></patient></department></hospital>"))
+                .unwrap()
+        })
+        .collect();
+    let mut requests = vec![(big, "patient")];
+    requests.extend(tiny.iter().map(|&id| (id, "patient")));
+    requests.push((big, "patient/record/diagnosis"));
+
+    let service = QueryService::hospital_demo();
+    let sequential = service
+        .evaluate_corpus(&store, &requests, EvaluationMode::HyPE)
+        .unwrap();
+    for threads in THREAD_BUDGETS {
+        let parallel = QueryService::with_config(
+            SmoqeEngine::hospital_demo().view().clone(),
+            ServiceConfig {
+                parallel_threads: threads,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+        .evaluate_corpus_parallel(&store, &requests, EvaluationMode::HyPE)
+        .unwrap();
+        assert_eq!(parallel, sequential, "skewed corpus at {threads} threads");
+    }
+    // Each slot equals a solo evaluation of that (document, query) pair.
+    for (result, &(id, query)) in sequential.iter().zip(&requests) {
+        let solo = service
+            .evaluate(query, store.get(id).unwrap().tree(), EvaluationMode::HyPE)
+            .unwrap();
+        assert_eq!(result.answers, solo.answers, "on `{query}` for {id}");
+        assert_eq!(result.stats, solo.stats, "on `{query}` for {id}");
+    }
+}

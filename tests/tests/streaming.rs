@@ -26,6 +26,7 @@ use smoqe_xml::hospital::{hospital_document_dtd, hospital_view_dtd};
 use smoqe_xml::stream::{EventSource, TreeEvents, XmlEvent};
 use smoqe_xml::{
     node_allocations, parse_document, to_xml_string, NodeId, XmlStreamReader, XmlTree,
+    XmlTreeBuilder,
 };
 use smoqe_xpath::parse_path;
 
@@ -247,11 +248,65 @@ fn assert_stream_and_replay_agree(tree: &XmlTree) {
     assert_eq!(from_text, from_original);
 }
 
+/// Fragments chosen to stress the escape/unescape paths of the serializer,
+/// the tree parser and the streaming reader: complete entities, *partial*
+/// entities (which must stay literal), lone ampersands, markup characters,
+/// quotes, `]]>`, tabs and both line-ending conventions.
+const NASTY_FRAGMENTS: &[&str] = &[
+    "x", "&", "&&", "&amp;", "&lt;", "a&am", "p;b", "&amp", "amp;", "<", ">", "\"", "'", "]]>",
+    "line\nbreak", "dos\r\nline", "\ttab", "caf\u{e9}",
+];
+
+/// Deterministically concatenates `fragments` nasty fragments picked by a
+/// splitmix64 walk from `seed`.
+fn nasty_string(seed: u64, fragments: usize) -> String {
+    let mut s = seed;
+    let mut out = String::new();
+    for _ in 0..fragments {
+        s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        out.push_str(NASTY_FRAGMENTS[(z as usize) % NASTY_FRAGMENTS.len()]);
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
         .. ProptestConfig::default()
     })]
+
+    /// Documents whose text is dense with entities, partial entities and
+    /// markup characters must still round-trip: one parse canonicalizes
+    /// (trims, drops whitespace-only text), after which serialize∘parse is
+    /// a fixpoint, and the streaming reader produces exactly the canonical
+    /// tree's events.
+    #[test]
+    fn escaping_heavy_text_round_trips_and_streams_identically(
+        seed in 0u64..100_000,
+        children in 1usize..6,
+        fragments in 0usize..5,
+    ) {
+        let mut builder = XmlTreeBuilder::new();
+        let root = builder.root("r");
+        for c in 0..children {
+            let child = builder.child(root, "a");
+            builder.set_text(child, &nasty_string(seed.wrapping_add(c as u64), fragments));
+        }
+        let doc = builder.finish();
+
+        let once = parse_document(&to_xml_string(&doc)).expect("escaped output re-parses");
+        let xml = to_xml_string(&once);
+        let twice = parse_document(&xml).expect("canonical output re-parses");
+        prop_assert_eq!(&to_xml_string(&twice), &xml);
+
+        let from_text = collect_events(&mut XmlStreamReader::new(xml.as_bytes()));
+        let from_tree = collect_events(&mut TreeEvents::new(&twice));
+        prop_assert_eq!(&from_text, &from_tree);
+    }
 
     /// Serialize an arbitrary generated document, re-read it through the
     /// streaming reader, and require the event sequence to match the
