@@ -86,6 +86,7 @@
 pub mod batch;
 pub mod corpus;
 pub mod engine;
+pub mod incremental;
 pub mod index;
 pub mod interpreted;
 pub mod parallel;
@@ -97,6 +98,7 @@ pub use batch::{
     BatchQuery, BatchResult, BatchStats, CompiledBatchQuery,
 };
 pub use corpus::{evaluate_corpus, evaluate_corpus_parallel, CorpusTask};
+pub use incremental::{IncrementalEvaluator, IncrementalQuery};
 pub use parallel::{
     evaluate_batch_parallel, evaluate_batch_parallel_at, evaluate_parallel,
     evaluate_parallel_at_with,

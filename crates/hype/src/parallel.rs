@@ -217,7 +217,12 @@ pub fn evaluate_batch_parallel_at(
     let (blocks, context_physical) = core.into_context_parts();
 
     // Per-query merge + answer collection, parallel across queries.
-    let results = finalize_queries(blocks, &shards, nodes_total, threads);
+    let results = finalize_queries(
+        blocks,
+        |query| shards.iter().map(|s| &s.queries[query]).collect(),
+        nodes_total,
+        threads,
+    );
 
     let nodes_visited =
         context_physical + shards.iter().map(|s| s.physical_visits).sum::<usize>();
@@ -320,13 +325,20 @@ pub(crate) fn claim_parallel<T: Send>(
     collected
 }
 
-/// Merges one query: answers collected over the context block first (also
-/// yielding the reached context vertices), then over every shard seeded
-/// with that reached set; statistics summed exactly.
-fn finalize_one(
+/// Merges one query from its per-shard-unit outputs: answers collected
+/// over the context block first (also yielding the reached context
+/// vertices), then over every shard unit seeded with that reached set;
+/// statistics summed exactly.
+///
+/// A *shard unit* is whatever arena granularity the caller evaluated with —
+/// one output per worker here, one per top-level child in
+/// [`crate::incremental`]. The merge is invariant to the partition: every
+/// counter is a sum of per-node contributions and the context placeholders
+/// (the first `context_vertices` ids of every unit) are discounted once per
+/// unit.
+pub(crate) fn finalize_one(
     block: ContextBlock,
-    query: usize,
-    shards: &[WorkerResult],
+    shard_outputs: &[&ShardQueryOutput],
     nodes_total: usize,
     scratch: &mut CollectScratch,
 ) -> HypeResult {
@@ -337,8 +349,7 @@ fn finalize_one(
     stats.nodes_total = nodes_total;
     stats.cans_vertices = context_vertices;
     stats.cans_edges = block.edges.len();
-    for shard in shards {
-        let sq = &shard.queries[query];
+    for sq in shard_outputs {
         debug_assert_eq!(sq.context_vertices as usize, context_vertices);
         // Destructured so adding a counter to `HypeStats` fails to compile
         // here instead of being silently dropped from parallel results.
@@ -362,9 +373,12 @@ fn finalize_one(
 
 /// Finalizes every query, distributing the per-query DAG collections over
 /// up to `threads` workers when the batch is large enough to pay for it.
-fn finalize_queries(
+/// `outputs_of` names each query's shard-unit outputs (see
+/// [`finalize_one`]); it is called once per query, from whichever worker
+/// claims that query.
+pub(crate) fn finalize_queries<'a>(
     blocks: Vec<ContextBlock>,
-    shards: &[WorkerResult],
+    outputs_of: impl Fn(usize) -> Vec<&'a ShardQueryOutput> + Sync,
     nodes_total: usize,
     threads: usize,
 ) -> Vec<HypeResult> {
@@ -386,7 +400,8 @@ fn finalize_queries(
                 .unwrap_or_else(|poisoned| poisoned.into_inner())
                 .take()
                 .expect("each slot is claimed exactly once");
-            mine.push((q, finalize_one(block, q, shards, nodes_total, &mut scratch)));
+            let outputs = outputs_of(q);
+            mine.push((q, finalize_one(block, &outputs, nodes_total, &mut scratch)));
         }
         mine
     })

@@ -38,6 +38,18 @@
 //! answers and statistics stay bit-identical to the sequential
 //! [`QueryService::evaluate_corpus`] loop.
 //!
+//! Stored documents are **versioned-mutable**: [`DocumentStore::apply_edit`]
+//! applies subtree edits (`smoqe_xml::edit`) to produce a new
+//! content-addressed version that shares the base snapshot bytes of its
+//! ancestor — only a delta-log tail is new — while
+//! [`QueryService::apply_edit`] and [`QueryService::remove_document`]
+//! additionally sweep exactly the stale reachability-index entries (those
+//! keyed to a label fingerprint no resident document uses any more) via
+//! [`lru::ShardedLru::invalidate_where`], leaving every other document's
+//! cached entries hot. Re-answering an open query batch after an edit can
+//! skip the unchanged parts of the document entirely via
+//! [`smoqe_hype::incremental`].
+//!
 //! Documents need not fit in memory at all: `answer_stream` on both
 //! [`SmoqeEngine`] and [`QueryService`] evaluates queries over a **streamed**
 //! document read from any `std::io::Read` — the single-pass promise of the
@@ -74,7 +86,7 @@ pub mod store;
 
 pub use engine::{CompiledQuery, EngineError, EvaluationMode, RegularXPathEngine, SmoqeEngine};
 pub use service::{QueryService, ServiceConfig, ServiceStats};
-pub use store::{DocId, DocumentStore, StoredDocument};
+pub use store::{DocId, DocumentStore, EditReceipt, StoreError, StoredDocument};
 
 // Re-export the subsystem crates so downstream users need a single dependency.
 pub use smoqe_automata as automata;

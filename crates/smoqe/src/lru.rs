@@ -111,6 +111,19 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
+
+    /// Drops every entry matching `pred`, returning how many were removed.
+    ///
+    /// This is *invalidation*, not eviction: the [`Self::evictions`] counter
+    /// is untouched (it measures capacity pressure), survivors keep their
+    /// last-used ticks so the relative recency order among them — and
+    /// therefore the future eviction order — is exactly what it was before
+    /// the call, and the freed slots become ordinary spare capacity.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        let before = self.map.len();
+        self.map.retain(|k, e| !pred(k, &e.value));
+        before - self.map.len()
+    }
 }
 
 /// A thread-safe segmented LRU: N independently locked [`LruCache`]
@@ -211,6 +224,28 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
         self.segments
             .iter()
             .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).evictions())
+            .sum()
+    }
+
+    /// Drops every entry matching `pred` in every segment, returning the
+    /// total number removed.
+    ///
+    /// Like [`LruCache::invalidate_where`] this leaves the eviction
+    /// counters and the survivors' recency order untouched. Segments are
+    /// locked one at a time, so concurrent hits on other segments proceed
+    /// while one segment is being swept; the sweep is atomic per segment,
+    /// not across the cache (an insert racing the sweep may land in an
+    /// already-swept segment — callers invalidating stale entries must
+    /// ensure the stale key can no longer be *produced*, which the service
+    /// does by swapping the document version before sweeping).
+    pub fn invalidate_where(&self, mut pred: impl FnMut(&K, &V) -> bool) -> usize {
+        self.segments
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .invalidate_where(&mut pred)
+            })
             .sum()
     }
 }
@@ -331,6 +366,54 @@ mod tests {
         assert_eq!(c.capacity(), 1);
     }
 
+    /// Invalidation must not disturb the survivors' recency order: after
+    /// sweeping, the eviction sequence is exactly the one the pre-sweep
+    /// ticks dictate.
+    #[test]
+    fn invalidation_preserves_eviction_order_of_survivors() {
+        let mut c = LruCache::new(4);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        c.insert("d", 4);
+        assert_eq!(c.get(&"a"), Some(&1)); // recency: b < c < d < a
+        assert_eq!(c.invalidate_where(|_, v| *v == 3), 1); // drop c
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 0, "invalidation is not eviction");
+        // Fill back up, then overflow: victims must come out b, d, a.
+        c.insert("e", 5); // no eviction — invalidation freed a slot
+        assert_eq!(c.evictions(), 0);
+        c.insert("f", 6);
+        assert_eq!(c.get(&"b"), None, "b was the pre-sweep LRU survivor");
+        c.insert("g", 7);
+        assert_eq!(c.get(&"d"), None);
+        c.insert("h", 8);
+        assert_eq!(c.get(&"a"), None);
+        assert_eq!(c.evictions(), 3);
+    }
+
+    /// Invalidation conserves capacity: freed slots are reusable, the
+    /// configured capacity is unchanged, and a full sweep leaves an empty
+    /// but fully usable cache.
+    #[test]
+    fn invalidation_conserves_capacity() {
+        let mut c = LruCache::new(3);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        c.insert("c", 3);
+        assert_eq!(c.invalidate_where(|_, _| true), 3);
+        assert!(c.is_empty());
+        assert_eq!(c.capacity(), 3);
+        for (k, v) in [("x", 10), ("y", 20), ("z", 30)] {
+            c.insert(k, v);
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evictions(), 0, "refilling to capacity evicts nothing");
+        // A no-match sweep is a no-op.
+        assert_eq!(c.invalidate_where(|_, _| false), 0);
+        assert_eq!(c.len(), 3);
+    }
+
     // -- ShardedLru ---------------------------------------------------------
 
     #[test]
@@ -436,6 +519,60 @@ mod tests {
         }
         assert!(c.len() <= c.capacity(), "len {} > capacity {}", c.len(), c.capacity());
         assert!(c.evictions() >= 1000 - c.capacity() as u64);
+    }
+
+    /// Cross-segment sweep: the predicate reaches every segment, the
+    /// removal count sums across them, and untouched entries stay resident
+    /// whatever segment they hashed onto.
+    #[test]
+    fn sharded_invalidation_sweeps_every_segment() {
+        // Roomy per-segment capacity (32 each) so deterministic hash skew
+        // cannot evict anything — this test is about invalidation only.
+        let c: ShardedLru<u32, u32> = ShardedLru::new(256, 8);
+        for i in 0..48u32 {
+            c.insert(i, i);
+        }
+        assert_eq!(c.len(), 48);
+        let removed = c.invalidate_where(|k, _| k % 3 == 0);
+        assert_eq!(removed, 16, "every third key, wherever it hashed");
+        assert_eq!(c.len(), 32);
+        assert_eq!(c.evictions(), 0, "invalidation is not eviction");
+        for i in 0..48u32 {
+            let want = if i % 3 == 0 { None } else { Some(i) };
+            assert_eq!(c.get(&i), want, "key {i}");
+        }
+        // Freed slots are reusable capacity in each segment.
+        for i in 0..48u32 {
+            c.insert(i, i + 1000);
+        }
+        assert_eq!(c.len(), 48);
+    }
+
+    #[test]
+    fn sharded_invalidation_is_safe_under_concurrent_traffic() {
+        let c: std::sync::Arc<ShardedLru<u32, u32>> = std::sync::Arc::new(ShardedLru::new(64, 4));
+        std::thread::scope(|scope| {
+            for t in 0..3u32 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for i in 0..300u32 {
+                        let k = (t * 11 + i) % 50;
+                        c.insert(k, k * 2);
+                        if let Some(v) = c.get(&k) {
+                            assert_eq!(v, k * 2);
+                        }
+                    }
+                });
+            }
+            let c = std::sync::Arc::clone(&c);
+            scope.spawn(move || {
+                for _ in 0..50 {
+                    c.invalidate_where(|k, _| k % 2 == 0);
+                }
+            });
+        });
+        // Whatever interleaving happened, no odd-keyed entry ever matched.
+        assert!(c.len() <= c.capacity());
     }
 
     #[test]

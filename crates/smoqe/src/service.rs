@@ -48,9 +48,11 @@ use smoqe_views::ViewDefinition;
 use smoqe_xml::{LabelInterner, XmlStreamReader, XmlTree};
 use smoqe_xpath::{normalize, parse_path, Path};
 
+use smoqe_xml::EditOp;
+
 use crate::engine::{CompiledQuery, EngineError, EvaluationMode, SmoqeEngine};
 use crate::lru::ShardedLru;
-use crate::store::{DocId, DocumentStore, StoredDocument};
+use crate::store::{DocId, DocumentStore, EditReceipt, StoreError, StoredDocument};
 
 /// Sizing and concurrency knobs for a [`QueryService`].
 #[derive(Debug, Clone, Copy)]
@@ -97,6 +99,10 @@ pub struct ServiceStats {
     pub index_misses: u64,
     /// Indexes evicted by the LRU policy.
     pub index_evictions: u64,
+    /// Indexes dropped by precise invalidation after a document edit or
+    /// removal staled their label fingerprint (distinct from LRU eviction,
+    /// which is capacity pressure).
+    pub index_invalidations: u64,
     /// Indexes currently cached.
     pub index_cached: usize,
 }
@@ -155,6 +161,7 @@ pub struct QueryService {
     compiled_misses: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
+    index_invalidations: AtomicU64,
 }
 
 impl QueryService {
@@ -182,6 +189,7 @@ impl QueryService {
             compiled_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
+            index_invalidations: AtomicU64::new(0),
         })
     }
 
@@ -592,8 +600,79 @@ impl QueryService {
             index_hits: self.index_hits.load(Ordering::Relaxed),
             index_misses: self.index_misses.load(Ordering::Relaxed),
             index_evictions: self.indexes.evictions(),
+            index_invalidations: self.index_invalidations.load(Ordering::Relaxed),
             index_cached: self.indexes.len(),
         }
+    }
+
+    /// Applies `ops` to document `id` in `store` — producing a new version
+    /// under a new [`DocId`] via [`DocumentStore::apply_edit`] — and then
+    /// invalidates **exactly** the reachability-index cache entries the
+    /// edit staled, leaving every other document's entries hot.
+    ///
+    /// Precision has two halves:
+    ///
+    /// * if the edit did not change the document's label fingerprint (no
+    ///   new labels), the cached indexes are still keyed correctly for the
+    ///   new version and *nothing* is invalidated — the common case for
+    ///   edits that shuffle existing element types;
+    /// * if the fingerprint did change, entries keyed to the old
+    ///   fingerprint are dropped **unless** another resident document still
+    ///   shares that interner layout ([`DocumentStore::fingerprint_in_use`])
+    ///   — they are still serving valid lookups for it.
+    ///
+    /// The store is updated *before* the sweep, so a request racing the
+    /// edit can at worst rebuild an entry for the retired fingerprint from
+    /// a handle it already resolved — a correct (if wasted) index, never a
+    /// wrong one.
+    pub fn apply_edit(
+        &self,
+        store: &DocumentStore,
+        id: DocId,
+        ops: &[EditOp],
+    ) -> Result<EditReceipt, StoreError> {
+        let receipt = store.apply_edit(id, ops)?;
+        if receipt.old_fingerprint != receipt.new_fingerprint {
+            self.invalidate_stale_indexes(store, receipt.old_fingerprint);
+        }
+        Ok(receipt)
+    }
+
+    /// Removes document `id` from `store` and invalidates the
+    /// reachability-index entries keyed to its label fingerprint, unless
+    /// another resident document still shares it. Returns whether the
+    /// document was present.
+    ///
+    /// This is the invalidation-aware counterpart of
+    /// [`DocumentStore::remove`]: removing through the store alone leaves
+    /// the service's index cache holding entries for a document that no
+    /// longer exists, which is wasted capacity (and made cache-size
+    /// accounting lie) until LRU pressure happened to push them out.
+    pub fn remove_document(&self, store: &DocumentStore, id: DocId) -> bool {
+        let Some(doc) = store.get(id) else {
+            return false;
+        };
+        let fingerprint = doc.labels_fingerprint();
+        let removed = store.remove(id);
+        if removed {
+            self.invalidate_stale_indexes(store, fingerprint);
+        }
+        removed
+    }
+
+    /// Drops index entries keyed to `fingerprint` if no resident document
+    /// uses it any more, bumping [`ServiceStats::index_invalidations`] by
+    /// the number removed.
+    fn invalidate_stale_indexes(&self, store: &DocumentStore, fingerprint: u64) -> usize {
+        if store.fingerprint_in_use(fingerprint) {
+            return 0;
+        }
+        let removed = self
+            .indexes
+            .invalidate_where(|key, _| key.doc_labels == fingerprint);
+        self.index_invalidations
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 }
 
@@ -997,6 +1076,141 @@ mod tests {
                 assert_eq!(parallel, sequential, "thread budget {threads} ({mode:?})");
             }
         }
+    }
+
+    /// Regression: removing a document through the store alone used to
+    /// leave its reachability-index entries in the service cache until LRU
+    /// pressure pushed them out. `remove_document` sweeps them eagerly.
+    #[test]
+    fn remove_document_drops_stale_index_entries() {
+        let service = QueryService::hospital_demo();
+        let store = DocumentStore::new();
+        let a = store.insert_tree(doc(1));
+        let b = store.insert_tree(doc(2)); // different interner layout than a
+        service.evaluate_corpus(&store, &[(a, "patient"), (b, "patient")], EvaluationMode::OptHyPE).unwrap();
+        assert_eq!(service.stats().index_cached, 2);
+        assert!(service.remove_document(&store, a));
+        let stats = service.stats();
+        assert_eq!(stats.index_cached, 1, "only a's entry is swept");
+        assert_eq!(stats.index_invalidations, 1);
+        assert_eq!(stats.index_evictions, 0, "invalidation is not eviction");
+        // b's entry is still hot: re-evaluating b hits, never rebuilds.
+        let hits = stats.index_hits;
+        service.evaluate_corpus(&store, &[(b, "patient")], EvaluationMode::OptHyPE).unwrap();
+        assert_eq!(service.stats().index_hits, hits + 1);
+        assert_eq!(service.stats().index_misses, 2);
+        // Removing an unknown id is a no-op.
+        assert!(!service.remove_document(&store, a));
+        assert_eq!(service.stats().index_invalidations, 1);
+    }
+
+    #[test]
+    fn remove_document_keeps_entries_shared_by_another_document() {
+        let service = QueryService::hospital_demo();
+        let store = DocumentStore::new();
+        // Two *distinct* documents with one interner layout: same generator
+        // config, different seeds... same-seed docs dedup to one id, so
+        // perturb content via an edit that uses only existing labels.
+        let a = store.insert_tree(doc(1));
+        let tree = store.get(a).unwrap().tree().clone();
+        let patient = tree
+            .node_ids()
+            .find(|&n| tree.label_name(n) == "patient")
+            .unwrap();
+        let receipt = store
+            .apply_edit(a, &[EditOp::Delete { node: patient }])
+            .unwrap();
+        let b = receipt.new_id;
+        assert_ne!(a, b);
+        // a was retired by the edit; re-insert it so both versions resident.
+        let a = store.insert_tree(doc(1));
+        assert_eq!(
+            store.get(a).unwrap().labels_fingerprint(),
+            store.get(b).unwrap().labels_fingerprint(),
+            "delete introduces no labels: the two documents share a fingerprint"
+        );
+        service
+            .evaluate_corpus(&store, &[(a, "patient")], EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(service.stats().index_cached, 1);
+        // Removing a must NOT sweep the entry: b still keys into it.
+        assert!(service.remove_document(&store, a));
+        let stats = service.stats();
+        assert_eq!(stats.index_cached, 1);
+        assert_eq!(stats.index_invalidations, 0);
+        let hits = stats.index_hits;
+        service
+            .evaluate_corpus(&store, &[(b, "patient")], EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(service.stats().index_hits, hits + 1, "b hits the shared entry");
+    }
+
+    #[test]
+    fn apply_edit_invalidates_only_when_the_fingerprint_changes() {
+        let service = QueryService::hospital_demo();
+        let store = DocumentStore::new();
+        let a = store.insert_tree(doc(1));
+        let b = store.insert_tree(doc(2));
+        service
+            .evaluate_corpus(&store, &[(a, "patient"), (b, "patient")], EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(service.stats().index_cached, 2);
+
+        // Edit 1: delete a patient — no new labels, fingerprint unchanged,
+        // so a's cached index stays valid for the new version and nothing
+        // is invalidated.
+        let tree = store.get(a).unwrap().tree().clone();
+        let patient = tree
+            .node_ids()
+            .find(|&n| tree.label_name(n) == "patient")
+            .unwrap();
+        let r1 = service
+            .apply_edit(&store, a, &[EditOp::Delete { node: patient }])
+            .unwrap();
+        assert_eq!(r1.old_fingerprint, r1.new_fingerprint);
+        let stats = service.stats();
+        assert_eq!(stats.index_cached, 2);
+        assert_eq!(stats.index_invalidations, 0);
+        let hits = stats.index_hits;
+        service
+            .evaluate_corpus(&store, &[(r1.new_id, "patient")], EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(
+            service.stats().index_hits,
+            hits + 1,
+            "the edited version still hits the fingerprint-shared entry"
+        );
+
+        // Edit 2: insert a subtree with a label the document has never
+        // seen — the fingerprint changes, the old entry is stale (no other
+        // resident shares it) and is swept; b's entry survives, hot.
+        let root = store.get(r1.new_id).unwrap().tree().root();
+        let r2 = service
+            .apply_edit(
+                &store,
+                r1.new_id,
+                &[EditOp::Insert {
+                    parent: root,
+                    position: 0,
+                    subtree: smoqe_xml::parse_document("<annex>audit</annex>").unwrap(),
+                }],
+            )
+            .unwrap();
+        assert_ne!(r2.old_fingerprint, r2.new_fingerprint);
+        let stats = service.stats();
+        assert_eq!(stats.index_cached, 1, "a's stale entry swept, b's kept");
+        assert_eq!(stats.index_invalidations, 1);
+        let hits = stats.index_hits;
+        service
+            .evaluate_corpus(&store, &[(b, "patient")], EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(service.stats().index_hits, hits + 1, "b's entry stayed hot");
+
+        // Editing a retired id fails typed.
+        assert!(matches!(
+            service.apply_edit(&store, a, &[]),
+            Err(StoreError::UnknownDocument(_))
+        ));
     }
 
     #[test]

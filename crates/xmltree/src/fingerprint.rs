@@ -79,6 +79,36 @@ pub fn labels_fingerprint(labels: &LabelInterner) -> u64 {
     h
 }
 
+/// Incrementally extends a label fingerprint after an edit.
+///
+/// The interner is append-only under subtree edits — inserting a subtree can
+/// only add *new* labels at the end of the id order — and
+/// [`labels_fingerprint`] is a left fold over names in id order, so the
+/// fingerprint of the grown interner is the old fingerprint with just the
+/// new tail folded on. `prev` must be the fingerprint of the first
+/// `first_new` labels of `labels`; the full rescan is the oracle:
+///
+/// ```
+/// use smoqe_xml::{labels_fingerprint, labels_fingerprint_from, LabelInterner};
+///
+/// let mut labels = LabelInterner::new();
+/// labels.intern("hospital");
+/// let before = (labels_fingerprint(&labels), labels.len());
+/// labels.intern("patient");
+/// labels.intern("ward");
+/// assert_eq!(
+///     labels_fingerprint_from(before.0, &labels, before.1),
+///     labels_fingerprint(&labels),
+/// );
+/// ```
+pub fn labels_fingerprint_from(prev: u64, labels: &LabelInterner, first_new: usize) -> u64 {
+    let mut h = prev;
+    for (_, name) in labels.iter().skip(first_new) {
+        h = fingerprint_field(h, name.as_bytes());
+    }
+    h
+}
+
 /// Folds a DTD production into a fingerprint using an explicit canonical
 /// encoding (never `Debug` output):
 ///
@@ -170,6 +200,25 @@ mod tests {
                 assert_ne!(prints[i], prints[j], "{:?} aliases {:?}", shapes[i], shapes[j]);
             }
         }
+    }
+
+    #[test]
+    fn incremental_fingerprint_matches_full_rescan() {
+        let mut labels = LabelInterner::new();
+        for name in ["hospital", "department", "patient"] {
+            labels.intern(name);
+        }
+        let prev = labels_fingerprint(&labels);
+        let first_new = labels.len();
+        // No growth: the fingerprint is unchanged.
+        assert_eq!(labels_fingerprint_from(prev, &labels, first_new), prev);
+        for name in ["ward", "treatment"] {
+            labels.intern(name);
+        }
+        assert_eq!(
+            labels_fingerprint_from(prev, &labels, first_new),
+            labels_fingerprint(&labels),
+        );
     }
 
     #[test]

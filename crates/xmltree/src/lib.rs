@@ -25,6 +25,7 @@
 
 pub mod dtd;
 pub mod dtd_parse;
+pub mod edit;
 pub mod error;
 pub mod fingerprint;
 pub mod hospital;
@@ -37,13 +38,15 @@ pub mod tree;
 
 pub use dtd::{Child, ContentModel, Dtd, DtdGraph};
 pub use dtd_parse::{parse_dtd, parse_dtd_with_root, to_dtd_string};
+pub use edit::{EditOp, EditScript};
 pub use error::{ParseError, XmlError};
 pub use fingerprint::{
-    fingerprint_content_model, fingerprint_field, labels_fingerprint, FINGERPRINT_SEED,
+    fingerprint_content_model, fingerprint_field, labels_fingerprint, labels_fingerprint_from,
+    FINGERPRINT_SEED,
 };
 pub use label::{LabelId, LabelInterner};
 pub use parse::parse_document;
 pub use serialize::{to_xml_string, to_xml_string_pretty};
-pub use snapshot::{SnapshotError, SnapshotHeader};
+pub use snapshot::{DeltaTail, SnapshotError, SnapshotHeader};
 pub use stream::{EventSource, TreeEvents, XmlEvent, XmlStreamReader};
 pub use tree::{node_allocations, NodeId, XmlTree, XmlTreeBuilder};

@@ -38,6 +38,42 @@
 //! ascending means a single forward scan over the parent column reconstructs
 //! every child list exactly. That keeps the node record at a fixed 12 bytes.
 //!
+//! # Delta log (format version 2)
+//!
+//! Edited documents (see [`crate::edit`]) are serialized as their **base**
+//! snapshot plus an appended log of edit ops, instead of re-serializing the
+//! whole arena. A version-2 snapshot has the identical header and base
+//! sections (label table, node table, text blob — describing the *unedited*
+//! base tree), followed by a delta section:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------------
+//!      …     4  delta_count (u32)
+//!      …     …  delta_count × delta record:
+//!                 tag: u8 — 0 = insert, 1 = delete, 2 = replace
+//!                 insert:  parent (u32), position (u32),
+//!                          payload_len (u32), payload bytes
+//!                 delete:  node (u32)
+//!                 replace: node (u32), payload_len (u32), payload bytes
+//! ```
+//!
+//! Each payload is itself a complete nested **version-1** snapshot of the
+//! inserted/replacement subtree. Two header fields are reinterpreted in
+//! version 2: `labels_fingerprint` is the fingerprint of the **final**
+//! (post-replay) interner, and `body_checksum` covers the whole body
+//! *including* the delta section — so content-addressed ids derived from it
+//! distinguish document versions. `node_count`, `label_count`, `root` and
+//! `text_blob_len` still describe the base sections.
+//!
+//! [`load`] replays the log through the edit API after rebuilding the base,
+//! which is deterministic: node ids are remapped by a uniform offset and
+//! labels re-interned in payload-id order, so the loaded arena is identical
+//! — tombstones included — to the edited in-memory tree, and the final
+//! label fingerprint is verified against the header. [`save_delta`] /
+//! [`extend_snapshot`] append to the log; appending to a version-2 snapshot
+//! extends its existing log.
+//!
 //! # Guarantees
 //!
 //! * [`load`]`(`[`save`]`(t))` rebuilds an arena identical to `t`: same node
@@ -51,6 +87,9 @@
 //! * [`peek_header`] validates and decodes the fixed-size header in O(1),
 //!   for cheap corpus cataloguing without materializing trees.
 
+use std::ops::Range;
+
+use crate::edit::EditOp;
 use crate::fingerprint::{labels_fingerprint, FINGERPRINT_SEED};
 use crate::label::LabelId;
 use crate::tree::{NodeId, XmlTree, XmlTreeBuilder};
@@ -60,6 +99,10 @@ pub const MAGIC: [u8; 8] = *b"SMOQSNAP";
 
 /// The snapshot format version written by [`save`] and accepted by [`load`].
 pub const FORMAT_VERSION: u32 = 1;
+
+/// The format version written by [`save_delta`] / [`extend_snapshot`]:
+/// base sections plus an appended edit-op delta log.
+pub const DELTA_FORMAT_VERSION: u32 = 2;
 
 /// Size in bytes of the fixed snapshot header.
 pub const HEADER_LEN: usize = 48;
@@ -122,7 +165,11 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic bytes"),
             SnapshotError::UnsupportedVersion(v) => {
-                write!(f, "unsupported snapshot format version {v} (expected {FORMAT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot format version {v} (expected {FORMAT_VERSION} or \
+                     {DELTA_FORMAT_VERSION})"
+                )
             }
             SnapshotError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -139,8 +186,17 @@ impl std::error::Error for SnapshotError {}
 /// workspace; used for the body checksum (and as the content-addressed
 /// document id in `smoqe`'s `DocumentStore`).
 pub fn body_checksum(body: &[u8]) -> u64 {
-    body.iter()
-        .fold(FINGERPRINT_SEED, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+    checksum_fold(FINGERPRINT_SEED, body)
+}
+
+/// Continues an FNV-1a body checksum over another slice; folding the body's
+/// slices in order equals [`body_checksum`] of their concatenation, which
+/// lets [`extend_snapshot`] checksum `base sections ++ delta` without
+/// materializing the concatenation.
+fn checksum_fold(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, &b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
 }
 
 /// Serializes `tree` into a version-[`FORMAT_VERSION`] snapshot.
@@ -161,7 +217,7 @@ pub fn save(tree: &XmlTree) -> Vec<u8> {
     for id in tree.node_ids() {
         let node = tree.node(id);
         debug_assert!(
-            node.children.windows(2).all(|w| w[0] < w[1]) && node.children.first().map_or(true, |&c| c > id),
+            node.children.windows(2).all(|w| w[0] < w[1]) && node.children.first().is_none_or(|&c| c > id),
             "arena child lists must be ascending and parent-before-child"
         );
         body.extend_from_slice(&node.label.0.to_le_bytes());
@@ -252,16 +308,21 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes a snapshot produced by [`save`] back into an [`XmlTree`].
+/// Decodes a snapshot produced by [`save`], [`save_delta`] or
+/// [`extend_snapshot`] back into an [`XmlTree`].
 ///
-/// The arena is rebuilt through [`XmlTreeBuilder`] in the original node
+/// The base arena is rebuilt through [`XmlTreeBuilder`] in the original node
 /// order, so node ids, label ids, children lists and the label-interner
-/// layout all come back identical to the saved tree. Every structural
-/// invariant is validated before construction; malformed input returns a
-/// [`SnapshotError`] and never panics.
+/// layout all come back identical to the saved tree. For version-2
+/// snapshots the delta log is then replayed through the edit API, which
+/// deterministically reproduces the edited arena — tombstones, appended
+/// nodes and grown interner included — and the final label fingerprint is
+/// verified against the header. Every structural invariant is validated
+/// before construction; malformed input returns a [`SnapshotError`] and
+/// never panics.
 pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
     let header = peek_header(bytes)?;
-    if header.version != FORMAT_VERSION {
+    if header.version != FORMAT_VERSION && header.version != DELTA_FORMAT_VERSION {
         return Err(SnapshotError::UnsupportedVersion(header.version));
     }
     if header.node_count == 0 {
@@ -269,7 +330,7 @@ pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
     }
     if header.root != NodeId(0) {
         return Err(SnapshotError::Corrupt(format!(
-            "root must be node 0 in format version 1, found {}",
+            "base root must be node 0, found {}",
             header.root.0
         )));
     }
@@ -284,7 +345,61 @@ pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
     }
 
     let mut cur = Cursor { bytes: body, pos: 0 };
+    let mut tree = decode_base(&header, &mut cur)?;
 
+    if header.version == FORMAT_VERSION {
+        if cur.pos != body.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the text blob",
+                body.len() - cur.pos
+            )));
+        }
+        // In version 1 the header fingerprint is the base interner's.
+        let computed_labels = labels_fingerprint(tree.labels());
+        if computed_labels != header.labels_fingerprint {
+            return Err(SnapshotError::Corrupt(format!(
+                "label-table fingerprint {computed_labels:#018x} does not match header \
+                 {:#018x}",
+                header.labels_fingerprint
+            )));
+        }
+        return Ok(tree);
+    }
+
+    // Version 2: replay the delta log, then verify the final fingerprint.
+    let delta_count = cur.u32()?;
+    for i in 0..delta_count {
+        let op = decode_delta_record(&mut cur)
+            .map_err(|e| corrupt_record(i, e))?;
+        tree.apply(&op).map_err(|e| {
+            SnapshotError::Corrupt(format!("delta record {i} does not apply: {e}"))
+        })?;
+    }
+    if cur.pos != body.len() {
+        return Err(SnapshotError::Corrupt(format!(
+            "{} trailing bytes after the delta log",
+            body.len() - cur.pos
+        )));
+    }
+    let computed_labels = labels_fingerprint(tree.labels());
+    if computed_labels != header.labels_fingerprint {
+        return Err(SnapshotError::Corrupt(format!(
+            "replayed label fingerprint {computed_labels:#018x} does not match header \
+             {:#018x}",
+            header.labels_fingerprint
+        )));
+    }
+    Ok(tree)
+}
+
+/// Wraps a nested decode error with the index of the failing delta record.
+fn corrupt_record(index: u32, e: SnapshotError) -> SnapshotError {
+    SnapshotError::Corrupt(format!("delta record {index}: {e}"))
+}
+
+/// Decodes the base sections (label table, node table, text blob) from
+/// `cur`, leaving the cursor at the first byte after the text blob.
+fn decode_base(header: &SnapshotHeader, cur: &mut Cursor<'_>) -> Result<XmlTree, SnapshotError> {
     // Label table: pre-intern in id order so LabelIds survive the trip.
     let mut builder = XmlTreeBuilder::new();
     let mut names = Vec::with_capacity(header.label_count as usize);
@@ -300,14 +415,6 @@ pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
             )));
         }
         names.push(name.to_owned());
-    }
-    let computed_labels = labels_fingerprint(builder.labels_mut());
-    if computed_labels != header.labels_fingerprint {
-        return Err(SnapshotError::Corrupt(format!(
-            "label-table fingerprint {computed_labels:#018x} does not match header \
-             {:#018x}",
-            header.labels_fingerprint
-        )));
     }
 
     // Node table: validate every record before building, tracking the
@@ -367,14 +474,7 @@ pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
         )));
     }
 
-    // Text blob — must consume the rest of the input exactly.
     let blob = cur.take(text_off)?;
-    if cur.pos != body.len() {
-        return Err(SnapshotError::Corrupt(format!(
-            "{} trailing bytes after the text blob",
-            body.len() - cur.pos
-        )));
-    }
 
     // Rebuild through the builder: ids are assigned densely in the same
     // order, and appending children parent-by-parent in id order reproduces
@@ -393,6 +493,244 @@ pub fn load(bytes: &[u8]) -> Result<XmlTree, SnapshotError> {
         }
     }
     Ok(builder.finish())
+}
+
+/// Delta record tags (see the module docs).
+const DELTA_INSERT: u8 = 0;
+const DELTA_DELETE: u8 = 1;
+const DELTA_REPLACE: u8 = 2;
+
+/// Encodes one edit op as a delta record (see the module docs for the
+/// layout). Payload subtrees are serialized as nested version-1 snapshots.
+fn encode_delta_record(out: &mut Vec<u8>, op: &EditOp) -> Result<(), SnapshotError> {
+    match op {
+        EditOp::Insert {
+            parent,
+            position,
+            subtree,
+        } => {
+            let position = u32::try_from(*position).map_err(|_| {
+                SnapshotError::Corrupt(format!("insert position {position} exceeds u32"))
+            })?;
+            let payload = encode_payload(subtree)?;
+            out.push(DELTA_INSERT);
+            out.extend_from_slice(&parent.0.to_le_bytes());
+            out.extend_from_slice(&position.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+        EditOp::Delete { node } => {
+            out.push(DELTA_DELETE);
+            out.extend_from_slice(&node.0.to_le_bytes());
+        }
+        EditOp::Replace { node, subtree } => {
+            let payload = encode_payload(subtree)?;
+            out.push(DELTA_REPLACE);
+            out.extend_from_slice(&node.0.to_le_bytes());
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&payload);
+        }
+    }
+    Ok(())
+}
+
+/// Serializes an edit payload as a nested version-1 snapshot, rejecting
+/// payloads the edit API itself would reject.
+fn encode_payload(subtree: &XmlTree) -> Result<Vec<u8>, SnapshotError> {
+    if subtree.is_empty() || subtree.has_tombstones() || subtree.root() != NodeId(0) {
+        return Err(SnapshotError::Corrupt(
+            "edit payload must be a clean, tombstone-free tree (compact it first)".to_owned(),
+        ));
+    }
+    Ok(save(subtree))
+}
+
+/// Decodes one delta record at the cursor.
+fn decode_delta_record(cur: &mut Cursor<'_>) -> Result<EditOp, SnapshotError> {
+    let tag = cur.take(1)?[0];
+    match tag {
+        DELTA_INSERT => {
+            let parent = NodeId(cur.u32()?);
+            let position = cur.u32()? as usize;
+            let len = cur.u32()? as usize;
+            let subtree = load(cur.take(len)?)?;
+            Ok(EditOp::Insert {
+                parent,
+                position,
+                subtree,
+            })
+        }
+        DELTA_DELETE => Ok(EditOp::Delete {
+            node: NodeId(cur.u32()?),
+        }),
+        DELTA_REPLACE => {
+            let node = NodeId(cur.u32()?);
+            let len = cur.u32()? as usize;
+            let subtree = load(cur.take(len)?)?;
+            Ok(EditOp::Replace { node, subtree })
+        }
+        other => Err(SnapshotError::Corrupt(format!(
+            "unknown delta record tag {other}"
+        ))),
+    }
+}
+
+/// Scans the base sections of `bytes` (which must start with a valid
+/// header) and returns their byte range — `HEADER_LEN .. delta start`.
+///
+/// Only the label-table entry lengths need scanning; the node table and
+/// text blob have sizes fixed by the header.
+fn base_sections(header: &SnapshotHeader, bytes: &[u8]) -> Result<Range<usize>, SnapshotError> {
+    let mut cur = Cursor {
+        bytes: &bytes[HEADER_LEN..],
+        pos: 0,
+    };
+    for _ in 0..header.label_count {
+        let len = cur.u32()? as usize;
+        cur.take(len)?;
+    }
+    cur.take(header.node_count as usize * 12)?;
+    let text_len = usize::try_from(header.text_blob_len)
+        .map_err(|_| SnapshotError::Corrupt("text blob length overflows".to_owned()))?;
+    cur.take(text_len)?;
+    Ok(HEADER_LEN..HEADER_LEN + cur.pos)
+}
+
+/// The reusable tail of an extended snapshot: a rewritten header plus the
+/// (grown) delta section, referencing the base sections of the original
+/// snapshot by byte range instead of copying them.
+///
+/// This is what lets `smoqe`'s `DocumentStore` keep one shared copy of a
+/// large base snapshot across document versions: each version stores only
+/// its `DeltaTail` (48-byte header + delta log) and [`DeltaTail::assemble`]s
+/// the full byte stream on demand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaTail {
+    header: Vec<u8>,
+    delta: Vec<u8>,
+    sections: Range<usize>,
+}
+
+impl DeltaTail {
+    /// The rewritten [`HEADER_LEN`]-byte header (version 2, final label
+    /// fingerprint, checksum over base sections + delta).
+    pub fn header_bytes(&self) -> &[u8] {
+        &self.header
+    }
+
+    /// Byte range of the base sections within the snapshot this tail was
+    /// extended from. The range is position-stable across generations:
+    /// every assembled snapshot carries the same base sections at
+    /// `HEADER_LEN..`.
+    pub fn sections(&self) -> Range<usize> {
+        self.sections.clone()
+    }
+
+    /// Size in bytes of the delta section (count word + all records).
+    pub fn delta_len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Materializes the full version-2 snapshot byte stream:
+    /// `header ++ base[sections] ++ delta`.
+    ///
+    /// `base` must be the same snapshot that was passed to
+    /// [`extend_snapshot`] (or any snapshot of the same lineage — see
+    /// [`DeltaTail::sections`]).
+    pub fn assemble(&self, base: &[u8]) -> Vec<u8> {
+        let sections = &base[self.sections.clone()];
+        let mut out = Vec::with_capacity(self.header.len() + sections.len() + self.delta.len());
+        out.extend_from_slice(&self.header);
+        out.extend_from_slice(sections);
+        out.extend_from_slice(&self.delta);
+        out
+    }
+}
+
+/// Appends `ops` to `snapshot`'s delta log without copying its base
+/// sections, returning the new header + delta as a [`DeltaTail`].
+///
+/// `snapshot` may be version 1 (the log starts empty) or version 2 (the
+/// existing log is extended). `final_labels_fingerprint` must be the
+/// fingerprint of the fully-edited tree's interner — callers that already
+/// applied `ops` in memory have it (incrementally, via
+/// [`crate::labels_fingerprint_from`]); use [`save_delta`] to have it
+/// computed by replay. Ops are validated structurally (encodable payloads)
+/// but **not** replayed here; a log that does not apply is caught by
+/// [`load`].
+pub fn extend_snapshot(
+    snapshot: &[u8],
+    ops: &[EditOp],
+    final_labels_fingerprint: u64,
+) -> Result<DeltaTail, SnapshotError> {
+    let header = peek_header(snapshot)?;
+    if header.version != FORMAT_VERSION && header.version != DELTA_FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(header.version));
+    }
+    let sections = base_sections(&header, snapshot)?;
+
+    // Existing log: count + verbatim record bytes.
+    let (old_count, old_records) = if header.version == DELTA_FORMAT_VERSION {
+        let mut cur = Cursor {
+            bytes: snapshot,
+            pos: sections.end,
+        };
+        let count = cur.u32()?;
+        (count, &snapshot[sections.end + 4..])
+    } else {
+        if sections.end != snapshot.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the text blob",
+                snapshot.len() - sections.end
+            )));
+        }
+        (0, &snapshot[0..0])
+    };
+
+    let new_count = old_count
+        .checked_add(u32::try_from(ops.len()).map_err(|_| {
+            SnapshotError::Corrupt("delta log exceeds u32 records".to_owned())
+        })?)
+        .ok_or_else(|| SnapshotError::Corrupt("delta log exceeds u32 records".to_owned()))?;
+
+    let mut delta = Vec::with_capacity(4 + old_records.len());
+    delta.extend_from_slice(&new_count.to_le_bytes());
+    delta.extend_from_slice(old_records);
+    for op in ops {
+        encode_delta_record(&mut delta, op)?;
+    }
+
+    let checksum = checksum_fold(checksum_fold(FINGERPRINT_SEED, &snapshot[sections.clone()]), &delta);
+
+    let mut new_header = snapshot[..HEADER_LEN].to_vec();
+    new_header[8..12].copy_from_slice(&DELTA_FORMAT_VERSION.to_le_bytes());
+    new_header[24..32].copy_from_slice(&final_labels_fingerprint.to_le_bytes());
+    new_header[40..48].copy_from_slice(&checksum.to_le_bytes());
+
+    Ok(DeltaTail {
+        header: new_header,
+        delta,
+        sections,
+    })
+}
+
+/// Serializes an edited document as `snapshot`'s base plus `ops` appended
+/// to the delta log, returning the complete version-2 byte stream.
+///
+/// The ops are replayed on a loaded copy of `snapshot` to validate them and
+/// compute the final label fingerprint, so this costs a full load; stores
+/// that already hold the edited tree should use [`extend_snapshot`]
+/// directly. Guaranteed to round-trip: `load(save_delta(s, ops))` equals
+/// applying `ops` to `load(s)`.
+pub fn save_delta(snapshot: &[u8], ops: &[EditOp]) -> Result<Vec<u8>, SnapshotError> {
+    let mut tree = load(snapshot)?;
+    for (i, op) in ops.iter().enumerate() {
+        tree.apply(op).map_err(|e| {
+            SnapshotError::Corrupt(format!("delta op {i} does not apply: {e}"))
+        })?;
+    }
+    let tail = extend_snapshot(snapshot, ops, labels_fingerprint(tree.labels()))?;
+    Ok(tail.assemble(snapshot))
 }
 
 #[cfg(test)]
@@ -529,5 +867,167 @@ mod tests {
         assert_eq!(e.clone(), e);
         let t = SnapshotError::Truncated { needed: 48, have: 3 };
         assert!(t.to_string().contains("48"));
+    }
+
+    fn payload() -> XmlTree {
+        parse_document("<patient><pname>Carol</pname><ward>W3</ward></patient>").unwrap()
+    }
+
+    fn sample_ops(t: &XmlTree) -> Vec<crate::EditOp> {
+        let dept = t.children(t.root())[0];
+        let dept2 = t.children(t.root())[1];
+        vec![
+            crate::EditOp::Insert {
+                parent: dept,
+                position: 1,
+                subtree: payload(),
+            },
+            crate::EditOp::Delete { node: dept2 },
+        ]
+    }
+
+    #[test]
+    fn delta_round_trip_replays_to_the_edited_tree() {
+        let base = sample();
+        let bytes = save(&base);
+        let ops = sample_ops(&base);
+        let mut edited = base.clone();
+        for op in &ops {
+            edited.apply(op).unwrap();
+        }
+
+        let delta_bytes = save_delta(&bytes, &ops).unwrap();
+        let header = peek_header(&delta_bytes).unwrap();
+        assert_eq!(header.version, DELTA_FORMAT_VERSION);
+        assert_eq!(header.node_count as usize, base.len(), "base node count");
+        assert_eq!(
+            header.labels_fingerprint,
+            labels_fingerprint(edited.labels()),
+            "header carries the final fingerprint"
+        );
+
+        let replayed = load(&delta_bytes).unwrap();
+        assert_trees_identical(&edited, &replayed);
+        assert_eq!(replayed.live_len(), edited.live_len());
+        assert!(replayed.has_tombstones());
+        replayed.check_consistency().unwrap();
+        // Validated against full re-serialization of the compacted tree.
+        assert_eq!(
+            crate::to_xml_string(&replayed.compacted()),
+            crate::to_xml_string(&edited.compacted())
+        );
+    }
+
+    #[test]
+    fn extend_snapshot_appends_to_an_existing_log() {
+        let base = sample();
+        let bytes = save(&base);
+        let ops = sample_ops(&base);
+        let gen1 = save_delta(&bytes, &ops[..1]).unwrap();
+        let gen2 = save_delta(&gen1, &ops[1..]).unwrap();
+        let all_at_once = save_delta(&bytes, &ops).unwrap();
+        assert_eq!(gen2, all_at_once, "one-op-at-a-time equals batched append");
+
+        // The base sections range is position-stable across generations.
+        let header1 = peek_header(&gen1).unwrap();
+        let sections1 = base_sections(&header1, &gen1).unwrap();
+        let header0 = peek_header(&bytes).unwrap();
+        let sections0 = base_sections(&header0, &bytes).unwrap();
+        assert_eq!(sections0, sections1);
+        assert_eq!(bytes[sections0.clone()], gen1[sections1]);
+    }
+
+    #[test]
+    fn delta_tail_shares_base_bytes() {
+        let base = sample();
+        let bytes = save(&base);
+        let ops = sample_ops(&base);
+        let mut edited = base.clone();
+        for op in &ops {
+            edited.apply(op).unwrap();
+        }
+        let tail = extend_snapshot(&bytes, &ops, labels_fingerprint(edited.labels())).unwrap();
+        assert_eq!(tail.header_bytes().len(), HEADER_LEN);
+        assert!(tail.delta_len() > 4);
+        assert_eq!(tail.assemble(&bytes), save_delta(&bytes, &ops).unwrap());
+    }
+
+    #[test]
+    fn empty_delta_log_round_trips() {
+        let base = sample();
+        let bytes = save(&base);
+        let v2 = save_delta(&bytes, &[]).unwrap();
+        let loaded = load(&v2).unwrap();
+        assert_trees_identical(&base, &loaded);
+        assert_eq!(
+            peek_header(&v2).unwrap().labels_fingerprint,
+            labels_fingerprint(base.labels())
+        );
+    }
+
+    #[test]
+    fn corrupt_delta_bytes_are_rejected() {
+        let base = sample();
+        let bytes = save(&base);
+        let mut v2 = save_delta(&bytes, &sample_ops(&base)).unwrap();
+        // Flip a byte inside the delta section: caught by the checksum.
+        let last = v2.len() - 1;
+        v2[last] ^= 0x01;
+        assert!(matches!(
+            load(&v2).unwrap_err(),
+            SnapshotError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn inapplicable_ops_are_rejected_at_save_and_load() {
+        let base = sample();
+        let bytes = save(&base);
+        // Deleting the root is rejected when building the delta…
+        let bad = vec![crate::EditOp::Delete { node: base.root() }];
+        assert!(matches!(
+            save_delta(&bytes, &bad).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        // …and a hand-assembled log with the same op is rejected on load.
+        let tail = extend_snapshot(&bytes, &bad, labels_fingerprint(base.labels())).unwrap();
+        assert!(matches!(
+            load(&tail.assemble(&bytes)).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn tombstoned_payloads_cannot_be_encoded() {
+        let base = sample();
+        let bytes = save(&base);
+        let mut dirty = sample();
+        let d = dirty.children(dirty.root())[0];
+        dirty.delete_subtree(d).unwrap();
+        let ops = vec![crate::EditOp::Insert {
+            parent: base.root(),
+            position: 0,
+            subtree: dirty,
+        }];
+        assert!(matches!(
+            save_delta(&bytes, &ops).unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn root_replacement_round_trips_through_the_log() {
+        let base = sample();
+        let bytes = save(&base);
+        let ops = vec![crate::EditOp::Replace {
+            node: base.root(),
+            subtree: payload(),
+        }];
+        let v2 = save_delta(&bytes, &ops).unwrap();
+        let loaded = load(&v2).unwrap();
+        assert_eq!(loaded.label_name(loaded.root()), "patient");
+        assert_eq!(loaded.live_len(), 3);
+        assert!(loaded.has_tombstones());
+        loaded.check_consistency().unwrap();
     }
 }

@@ -73,7 +73,7 @@ fn main() {
     println!("inserted 8 documents -> store holds {}", store.len());
     // Re-inserting the first document (by any route) deduplicates.
     let first = store.get(ids[0]).unwrap();
-    let again = store.insert_snapshot(first.snapshot_bytes()).unwrap();
+    let again = store.insert_snapshot(&first.snapshot_bytes()).unwrap();
     assert_eq!(again, ids[0]);
     println!("re-insert of {} deduplicated -> store still holds {}", ids[0], store.len());
 

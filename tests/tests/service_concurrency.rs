@@ -161,6 +161,113 @@ fn eight_threads_hammer_one_shared_service() {
     assert!(stats.compiled_cached <= 4, "cached entries bounded by capacity");
 }
 
+/// Invalidation precision under concurrency: while reader threads hammer
+/// document B's cached reachability-index entries, document A is edited
+/// (introducing a new label, so its fingerprint changes) through the
+/// service. A's stale entries must be gone afterwards; B's entries must
+/// stay hot throughout — every one of B's lookups during and after the
+/// edit is a *hit*, so the miss counter never moves past warm-up.
+#[test]
+fn editing_one_document_leaves_other_documents_entries_hot() {
+    use smoqe::DocumentStore;
+    use smoqe_xml::EditOp;
+
+    let service = Arc::new(QueryService::hospital_demo());
+    let store = Arc::new(DocumentStore::new());
+    let doc_a = store.insert_tree(generate_hospital(&HospitalConfig {
+        patients: 25,
+        heart_disease_fraction: 0.4,
+        max_ancestor_depth: 2,
+        seed: 1,
+        ..Default::default()
+    }));
+    let doc_b = store.insert_tree(generate_hospital(&HospitalConfig {
+        patients: 25,
+        heart_disease_fraction: 0.4,
+        max_ancestor_depth: 2,
+        seed: 2,
+        ..Default::default()
+    }));
+    assert_ne!(
+        store.get(doc_a).unwrap().labels_fingerprint(),
+        store.get(doc_b).unwrap().labels_fingerprint(),
+        "different seeds intern differently; the documents must not share index keys"
+    );
+
+    // Warm both documents' index entries for two queries each.
+    let warm_queries = ["patient", "patient/record/diagnosis"];
+    for id in [doc_a, doc_b] {
+        for q in warm_queries {
+            service
+                .evaluate_corpus(&store, &[(id, q)], EvaluationMode::OptHyPE)
+                .unwrap();
+        }
+    }
+    let warm = service.stats();
+    assert_eq!(warm.index_cached, 4, "two entries per document");
+    assert_eq!(warm.index_misses, 4);
+
+    let b_lookups = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        // Readers: keep B's entries under constant lookup traffic.
+        for _ in 0..4 {
+            let service = Arc::clone(&service);
+            let store = Arc::clone(&store);
+            let b_lookups = &b_lookups;
+            scope.spawn(move || {
+                for round in 0..50 {
+                    let q = warm_queries[round % warm_queries.len()];
+                    service
+                        .evaluate_corpus(&store, &[(doc_b, q)], EvaluationMode::OptHyPE)
+                        .unwrap();
+                    b_lookups.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        // Writer: edit A mid-traffic with a label the corpus has never
+        // seen, retiring A's fingerprint and sweeping its entries.
+        let service = Arc::clone(&service);
+        let store = Arc::clone(&store);
+        scope.spawn(move || {
+            let root = store.get(doc_a).unwrap().tree().root();
+            let receipt = service
+                .apply_edit(
+                    &store,
+                    doc_a,
+                    &[EditOp::Insert {
+                        parent: root,
+                        position: 0,
+                        subtree: smoqe_xml::parse_document("<annex>swept</annex>").unwrap(),
+                    }],
+                )
+                .unwrap();
+            assert_ne!(receipt.old_fingerprint, receipt.new_fingerprint);
+        });
+    });
+
+    let stats = service.stats();
+    // A's two stale entries are gone, B's two entries survived.
+    assert_eq!(stats.index_invalidations, 2, "exactly A's entries were swept");
+    assert_eq!(stats.index_cached, 2, "B's entries remain resident");
+    // Precision in the counters: not a single lookup of B missed — the
+    // sweep never touched B's keys, so misses sit exactly at warm-up level.
+    assert_eq!(
+        stats.index_misses, warm.index_misses,
+        "B's entries stayed hot through the edit: no rebuild ever happened"
+    );
+    assert_eq!(
+        stats.index_hits,
+        warm.index_hits + b_lookups.load(Ordering::Relaxed),
+        "every concurrent lookup of B was a cache hit"
+    );
+    // And B still hits after the dust settles, while A's retired id is gone.
+    service
+        .evaluate_corpus(&store, &[(doc_b, "patient")], EvaluationMode::OptHyPE)
+        .unwrap();
+    assert_eq!(service.stats().index_misses, warm.index_misses);
+    assert!(!store.contains(doc_a), "the edit retired A's old version");
+}
+
 #[test]
 fn concurrent_stats_snapshots_never_block_progress() {
     // One writer thread evaluating, several reader threads polling stats():

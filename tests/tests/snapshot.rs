@@ -185,17 +185,24 @@ fn foreign_and_future_inputs_are_rejected_with_typed_errors() {
         Err(SnapshotError::BadMagic)
     ));
 
-    // A version-2 snapshot from the future: the header still peeks (so a
-    // store can report what it was handed) but load refuses it.
+    // A version-3 snapshot from the future: the header still peeks (so a
+    // store can report what it was handed) but load refuses it. (Version 2
+    // is the delta-log format and loads fine.)
     let mut future = snapshot::save(&parse_document("<r/>").unwrap());
-    future[8..12].copy_from_slice(&2u32.to_le_bytes());
+    future[8..12].copy_from_slice(&3u32.to_le_bytes());
     let header = snapshot::peek_header(&future).unwrap();
-    assert_eq!(header.version, 2);
+    assert_eq!(header.version, 3);
     assert!(matches!(
         snapshot::load(&future),
-        Err(SnapshotError::UnsupportedVersion(2))
+        Err(SnapshotError::UnsupportedVersion(3))
     ));
     assert_eq!(&future[..8], &MAGIC, "only the version field was touched");
+
+    // A v1 body relabeled as v2 promises a delta section it doesn't have:
+    // rejected with a typed error, not a panic.
+    let mut relabeled = snapshot::save(&parse_document("<r/>").unwrap());
+    relabeled[8..12].copy_from_slice(&2u32.to_le_bytes());
+    assert!(snapshot::load(&relabeled).is_err());
 }
 
 #[test]
