@@ -1,0 +1,333 @@
+//! Closed-loop load generation against a running `smoqed` server.
+//!
+//! The generator simulates `clients` concurrent users, each with its own
+//! TCP connection and its own deterministic RNG stream. **Closed-loop**
+//! means each simulated client issues its next request only after the
+//! previous answer arrives — so measured latency is honest end-to-end
+//! time under concurrency, and QPS is throughput the server actually
+//! sustained, not an open-loop arrival rate it silently queued.
+//!
+//! The request mix is configurable per run: hot queries (a small set that
+//! should live in the tenant's compiled/index caches) vs cold queries, an
+//! optional every-k-th **batched** request (all hot queries in one shared
+//! pass), and an optional every-k-th **edit**. Edits go to a per-client
+//! *private* document registered at startup — the content-addressed store
+//! retires a document's id on every edit, so a shared edit target would
+//! make clients race on stale ids; a private target keeps the mix
+//! realistic (edits interleaved with queries, cache invalidation
+//! exercised) without manufacturing `UnknownDocument` noise.
+//!
+//! Every request's latency is recorded in microseconds; the report merges
+//! all clients' samples into p50/p95/p99/max and overall QPS. A shed
+//! connection (`Busy`) is counted, the client reconnects, and the request
+//! is retried — sheds are visible in the report, not folded into errors.
+
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+use smoqe::EvaluationMode;
+
+use crate::client::{ClientError, SmoqedClient};
+use crate::protocol::WireEditOp;
+
+/// The workload one [`run_load`] call drives.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Simulated concurrent clients (threads, one connection each).
+    pub clients: usize,
+    /// Requests each client issues (excluding setup).
+    pub requests_per_client: usize,
+    /// Tenant every request targets.
+    pub tenant: String,
+    /// The shared, read-only document queries run over.
+    pub doc: u64,
+    /// The frequently repeated query set (cache-friendly).
+    pub hot_queries: Vec<String>,
+    /// The long-tail query set (cache-hostile when large).
+    pub cold_queries: Vec<String>,
+    /// Percentage (0..=100) of solo queries drawn from the hot set.
+    pub hot_percent: u8,
+    /// Every k-th request is a batch of all hot queries (0 = never).
+    pub batch_every: usize,
+    /// Every k-th request is an edit on the client's private document
+    /// (0 = never).
+    pub edit_every: usize,
+    /// Snapshot bytes of the private edit target **per client** (client
+    /// `i` registers `edit_target_snapshots[i]`). The store is
+    /// content-addressed, so the targets must be pairwise distinct
+    /// documents — identical bytes would collapse to one shared id that
+    /// the first edit retires out from under every other client. Must
+    /// hold at least `clients` entries when `edit_every > 0`.
+    pub edit_target_snapshots: Vec<Vec<u8>>,
+    /// Snapshot bytes of the small subtree each edit inserts.
+    pub edit_payload_snapshot: Vec<u8>,
+    /// HyPE variant for every evaluation.
+    pub mode: EvaluationMode,
+    /// RNG seed; same seed + same config = same request sequence.
+    pub seed: u64,
+}
+
+/// What a [`run_load`] call measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests that completed successfully.
+    pub requests: u64,
+    /// Requests that failed with a server/protocol error.
+    pub errors: u64,
+    /// Times a connection was shed (`Busy`) and retried.
+    pub shed: u64,
+    /// Wall-clock seconds from first request to last answer.
+    pub elapsed_secs: f64,
+    /// Successful requests per wall-clock second.
+    pub qps: f64,
+    /// Median request latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request latency, microseconds.
+    pub max_us: u64,
+}
+
+/// Deterministic splitmix64 stream (the workspace pattern for seeded,
+/// dependency-free randomness).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Sorted-sample percentile (nearest-rank).
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+enum Op {
+    Solo(String),
+    Batch,
+    Edit,
+}
+
+/// Issues `op`, reconnecting and retrying on shed. Returns the successful
+/// attempt's latency, or the terminal error.
+fn issue(
+    client: &mut SmoqedClient,
+    addr: SocketAddr,
+    cfg: &LoadConfig,
+    op: &Op,
+    private_doc: &mut u64,
+    private_root: u32,
+    shed: &mut u64,
+) -> Result<u64, ClientError> {
+    loop {
+        let start = Instant::now();
+        let outcome = match op {
+            Op::Solo(query) => client
+                .query(&cfg.tenant, cfg.doc, cfg.mode, query)
+                .map(|_| ()),
+            Op::Batch => {
+                let refs: Vec<&str> = cfg.hot_queries.iter().map(String::as_str).collect();
+                client
+                    .batch_query(&cfg.tenant, cfg.doc, cfg.mode, &refs)
+                    .map(|_| ())
+            }
+            Op::Edit => client
+                .apply_edit(
+                    &cfg.tenant,
+                    *private_doc,
+                    vec![WireEditOp::Insert {
+                        parent: private_root,
+                        position: 0,
+                        snapshot: cfg.edit_payload_snapshot.clone(),
+                    }],
+                )
+                .map(|(_, new_doc, _)| *private_doc = new_doc),
+        };
+        match outcome {
+            Ok(()) => return Ok(start.elapsed().as_micros() as u64),
+            Err(ClientError::Busy { .. }) => {
+                // Shed: the server closed this connection after the Busy
+                // frame. Reconnect and retry the same request.
+                *shed += 1;
+                *client = SmoqedClient::connect(addr)?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One simulated client's run: returns `(latencies_us, errors, shed)`.
+fn client_loop(addr: SocketAddr, cfg: &LoadConfig, client_index: usize) -> (Vec<u64>, u64, u64) {
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+    let mut rng = SplitMix(cfg.seed ^ (client_index as u64).wrapping_mul(0xa076_1d64_78bd_642f));
+
+    let mut client = match SmoqedClient::connect(addr) {
+        Ok(c) => c,
+        Err(_) => return (latencies, cfg.requests_per_client as u64, shed),
+    };
+
+    // Private edit target (see the field docs for why it is per client).
+    let (mut private_doc, private_root) = if cfg.edit_every > 0 {
+        let target = &cfg.edit_target_snapshots[client_index];
+        let root = smoqe_xml::snapshot::load(target)
+            .map(|tree| tree.root().0)
+            .unwrap_or(0);
+        let doc = loop {
+            match client.register_document(&cfg.tenant, target) {
+                Ok(doc) => break doc,
+                Err(ClientError::Busy { .. }) => {
+                    shed += 1;
+                    match SmoqedClient::connect(addr) {
+                        Ok(c) => client = c,
+                        Err(_) => return (latencies, cfg.requests_per_client as u64, shed),
+                    }
+                }
+                Err(_) => return (latencies, cfg.requests_per_client as u64, shed),
+            }
+        };
+        (doc, root)
+    } else {
+        (0, 0)
+    };
+
+    for i in 1..=cfg.requests_per_client {
+        let op = if cfg.edit_every > 0 && i % cfg.edit_every == 0 {
+            Op::Edit
+        } else if cfg.batch_every > 0 && i % cfg.batch_every == 0 {
+            Op::Batch
+        } else {
+            let hot = !cfg.hot_queries.is_empty()
+                && (cfg.cold_queries.is_empty()
+                    || rng.below(100) < cfg.hot_percent as usize);
+            let set = if hot { &cfg.hot_queries } else { &cfg.cold_queries };
+            Op::Solo(set[rng.below(set.len())].clone())
+        };
+        match issue(
+            &mut client,
+            addr,
+            cfg,
+            &op,
+            &mut private_doc,
+            private_root,
+            &mut shed,
+        ) {
+            Ok(latency) => latencies.push(latency),
+            Err(_) => errors += 1,
+        }
+    }
+    (latencies, errors, shed)
+}
+
+/// Runs the closed-loop workload and reports merged latency percentiles
+/// and QPS.
+///
+/// # Panics
+///
+/// Panics if the config is vacuous: zero clients, zero requests, or no
+/// query sets while solo queries are possible.
+pub fn run_load(addr: SocketAddr, config: &LoadConfig) -> LoadReport {
+    assert!(config.clients > 0, "need at least one client");
+    assert!(config.requests_per_client > 0, "need at least one request");
+    assert!(
+        !config.hot_queries.is_empty() || !config.cold_queries.is_empty(),
+        "need at least one query set"
+    );
+    if config.edit_every > 0 {
+        assert!(
+            config.edit_target_snapshots.len() >= config.clients,
+            "edit mix needs one distinct target snapshot per client \
+             ({} given, {} clients)",
+            config.edit_target_snapshots.len(),
+            config.clients
+        );
+        assert!(
+            !config.edit_payload_snapshot.is_empty(),
+            "edit mix needs a payload snapshot"
+        );
+    }
+
+    let start = Instant::now();
+    let outcomes: Vec<(Vec<u64>, u64, u64)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|i| scope.spawn(move || client_loop(addr, config, i)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client thread panicked"))
+            .collect()
+    });
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut shed = 0u64;
+    for (lat, err, sh) in outcomes {
+        latencies.extend(lat);
+        errors += err;
+        shed += sh;
+    }
+    latencies.sort_unstable();
+
+    let requests = latencies.len() as u64;
+    LoadReport {
+        requests,
+        errors,
+        shed,
+        elapsed_secs,
+        qps: if elapsed_secs > 0.0 {
+            requests as f64 / elapsed_secs
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 50.0),
+        p95_us: percentile(&latencies, 95.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 95.0), 95);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        let mut a1 = SplitMix(42);
+        let mut a2 = SplitMix(42);
+        let mut b = SplitMix(43);
+        let s1: Vec<u64> = (0..8).map(|_| a1.next()).collect();
+        let s2: Vec<u64> = (0..8).map(|_| a2.next()).collect();
+        let s3: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        assert_eq!(s1, s2);
+        assert_ne!(s1, s3);
+    }
+}

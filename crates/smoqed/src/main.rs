@@ -1,0 +1,62 @@
+//! The `smoqed` server binary.
+//!
+//! ```text
+//! smoqed [ADDR] [--workers N] [--queue N]
+//! ```
+//!
+//! Binds `ADDR` (default `127.0.0.1:7878`) and serves until killed.
+//! Tenants register their views over the wire (`RegisterView`), so a
+//! fresh server needs no configuration files.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use smoqed::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: smoqed [ADDR] [--workers N] [--queue N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage(),
+            },
+            "--queue" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.queue_capacity = n,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: smoqed [ADDR] [--workers N] [--queue N]");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => return usage(),
+            other => addr = other.to_owned(),
+        }
+    }
+
+    let server = match Server::spawn(&addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("smoqed: failed to bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "smoqed listening on {} (queue capacity {})",
+        server.addr(),
+        config.queue_capacity
+    );
+    // Serve until killed: the accept and worker threads do all the work.
+    loop {
+        std::thread::park();
+    }
+}

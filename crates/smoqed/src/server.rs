@@ -1,0 +1,441 @@
+//! The `smoqed` TCP server: accept loop, bounded admission queue, and
+//! worker pool.
+//!
+//! The threading model is deliberately simple — plain `std::net` blocking
+//! sockets, no async runtime:
+//!
+//! ```text
+//! accept thread ──► bounded VecDeque<TcpStream> ──► worker threads
+//!                   (admission queue)               (one connection each)
+//! ```
+//!
+//! The accept thread never evaluates anything: it pushes admitted
+//! connections into the queue and immediately returns to `accept()`, so a
+//! slow or stuck client cannot wedge admission. When the queue is full the
+//! server **sheds load visibly**: the new connection receives a typed
+//! [`Response::Busy`] frame (carrying the queue bound) and is closed —
+//! never a silent drop — and the shed counter ticks. Within a connection,
+//! requests are answered in order.
+//!
+//! Workers **rotate** connections rather than owning them until EOF, so
+//! idle-but-open clients can never starve waiting ones (with blocking
+//! sockets, a worker camped on a silent connection would otherwise be a
+//! deadlock whenever live connections ≥ workers — one idle setup client
+//! could wedge a single-core server forever). Two rules, both acting only
+//! at frame boundaries (mid-frame the stream is not re-enqueueable):
+//!
+//! * **idle rotation** — polling for the next frame uses a short read
+//!   timeout; a connection with nothing to say while others wait in the
+//!   queue goes to the back of the queue and the worker takes the oldest
+//!   waiting one;
+//! * **fairness rotation** — a connection that has streamed
+//!   [`FAIR_BURST`] back-to-back requests while others wait is rotated
+//!   too, so a firehose client gets time slices, not a monopoly.
+//!
+//! Rotated connections re-enter the queue exempt from the admission bound
+//! (they were already admitted; the bound gates new connections only).
+//!
+//! Error handling per connection:
+//!
+//! * clean EOF between frames, or a transport error → close quietly (an
+//!   abruptly vanishing client is normal, and only its own worker
+//!   notices — the accept loop is untouched);
+//! * malformed frame (bad length prefix, truncated body) → the stream can
+//!   no longer be trusted to be frame-aligned: best-effort
+//!   `Error(Protocol)` frame, then close;
+//! * well-formed frame whose body fails to decode → the stream is still
+//!   aligned (length-delimited framing): answer a typed `Error(Protocol)`
+//!   frame and keep serving.
+
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use smoqe::ServiceConfig;
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame_after, write_frame, ErrorCode, FrameError,
+    Response,
+};
+use crate::tenant::{handle_request, ServerCounters, TenantRegistry};
+
+/// How long a worker waits for a connection's next frame before
+/// considering it idle (and rotating it if others are waiting). Bounds
+/// the queueing delay an idle connection can inflict on a waiting one.
+pub const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Back-to-back requests one connection may stream while others wait
+/// before it is rotated to the back of the queue.
+pub const FAIR_BURST: u32 = 32;
+
+/// Tuning knobs for [`Server::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads serving connections; `0` means one per core.
+    pub workers: usize,
+    /// Admission queue bound: connections waiting beyond the ones being
+    /// served. When full, new connections are shed with a `Busy` frame.
+    pub queue_capacity: usize,
+    /// Per-tenant service configuration (cache capacities, segments).
+    pub service: ServiceConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 64,
+            service: ServiceConfig::default(),
+        }
+    }
+}
+
+/// The admission queue: a bounded deque plus a condvar for the workers.
+struct Admission {
+    queue: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+/// Shared server state.
+struct Shared {
+    registry: TenantRegistry,
+    counters: ServerCounters,
+    admission: Admission,
+    shutdown: AtomicBool,
+    /// One slot per worker holding a clone of the stream it is currently
+    /// serving. `shutdown()` closes these so workers blocked in
+    /// `read_frame` on an idle-but-open connection wake up and exit —
+    /// otherwise joining the pool could wait on a client forever.
+    active: Vec<Mutex<Option<TcpStream>>>,
+}
+
+/// A running `smoqed` server. Dropping the handle shuts the server down
+/// and joins every thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and starts the accept loop plus the worker pool.
+    pub fn spawn(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let workers = if config.workers == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            registry: TenantRegistry::new(config.service),
+            counters: ServerCounters::new(config.queue_capacity as u32),
+            admission: Admission {
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                capacity: config.queue_capacity,
+            },
+            shutdown: AtomicBool::new(false),
+            active: (0..workers).map(|_| Mutex::new(None)).collect(),
+        });
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("smoqed-accept".into())
+            .spawn(move || accept_loop(listener, &accept_shared))?;
+
+        let mut pool = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            pool.push(
+                thread::Builder::new()
+                    .name(format!("smoqed-worker-{i}"))
+                    .spawn(move || worker_loop(&worker_shared, i))?,
+            );
+        }
+
+        Ok(Server {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+            workers: pool,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's tenant registry (for in-process seeding: a test or
+    /// bench can register views/documents directly instead of over the
+    /// wire).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.registry
+    }
+
+    /// The server's counters.
+    pub fn counters(&self) -> &ServerCounters {
+        &self.shared.counters
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept()` with a throwaway connection; the accept loop
+        // re-checks the flag before enqueueing it.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock workers parked on the condvar.
+        self.shared.admission.ready.notify_all();
+        // Unblock workers parked in a blocking read on a live connection.
+        for slot in &self.shared.active {
+            if let Some(stream) = slot.lock().expect("active slot lock poisoned").as_ref() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        shared
+            .counters
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let mut queue = shared
+            .admission
+            .queue
+            .lock()
+            .expect("admission queue lock poisoned");
+        if queue.len() >= shared.admission.capacity {
+            drop(queue);
+            shed(shared, stream);
+            continue;
+        }
+        queue.push_back(stream);
+        shared
+            .counters
+            .queue_depth
+            .store(queue.len() as u64, Ordering::Relaxed);
+        drop(queue);
+        shared.admission.ready.notify_one();
+    }
+}
+
+/// Sheds one connection: typed `Busy` frame (best effort — the peer may
+/// already be gone), then drop.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.counters.shed_total.fetch_add(1, Ordering::Relaxed);
+    let body = encode_response(&Response::Busy {
+        queue_capacity: shared.admission.capacity as u32,
+    });
+    let _ = write_frame(&mut stream, &body);
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    loop {
+        let stream = {
+            let mut queue = shared
+                .admission
+                .queue
+                .lock()
+                .expect("admission queue lock poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    shared
+                        .counters
+                        .queue_depth
+                        .store(queue.len() as u64, Ordering::Relaxed);
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared
+                    .admission
+                    .ready
+                    .wait(queue)
+                    .expect("admission queue lock poisoned");
+            }
+        };
+        // Publish the connection so shutdown() can unblock this worker,
+        // re-checking the flag to close the race where shutdown() swept
+        // the slots while this stream was still queue-local.
+        *shared.active[index].lock().expect("active slot lock poisoned") =
+            stream.try_clone().ok();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let rotated = handle_connection(shared, stream);
+        *shared.active[index].lock().expect("active slot lock poisoned") = None;
+        if let Some(stream) = rotated {
+            requeue(shared, stream);
+        }
+    }
+}
+
+/// Hands a rotated (already-admitted) connection back to the queue. Not
+/// subject to the admission bound — shedding an established connection
+/// would turn fairness into data loss.
+fn requeue(shared: &Shared, stream: TcpStream) {
+    let mut queue = shared
+        .admission
+        .queue
+        .lock()
+        .expect("admission queue lock poisoned");
+    queue.push_back(stream);
+    shared
+        .counters
+        .queue_depth
+        .store(queue.len() as u64, Ordering::Relaxed);
+    drop(queue);
+    shared.admission.ready.notify_one();
+}
+
+/// True when another connection is waiting for a worker.
+fn others_waiting(shared: &Shared) -> bool {
+    !shared
+        .admission
+        .queue
+        .lock()
+        .expect("admission queue lock poisoned")
+        .is_empty()
+}
+
+/// Serves one connection until EOF, transport error, a desynchronizing
+/// frame error — or a rotation point (idle, or `FAIR_BURST` consecutive
+/// frames, while others wait), in which case the frame-aligned stream is
+/// returned for requeueing. Never panics on malformed input: every decode
+/// failure becomes a typed error frame.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) -> Option<TcpStream> {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return None;
+    }
+    let mut burst = 0u32;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        // Poll for the first byte of the next frame with the idle timeout
+        // armed: this is the only blocking point where nothing has been
+        // received, so it is the only point where rotating is safe.
+        let mut first = [0u8; 1];
+        match stream.read(&mut first) {
+            // Clean EOF between frames: the client is done.
+            Ok(0) => return None,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle at a frame boundary. Rotate if someone is waiting;
+                // otherwise keep polling (the next poll also re-checks the
+                // shutdown flag).
+                burst = 0;
+                if others_waiting(shared) {
+                    return Some(stream);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // Transport failure (the client vanished mid-request): close.
+            // Only this worker notices; the accept loop keeps admitting.
+            Err(_) => return None,
+        }
+        // A frame has begun: finish it with the timeout disarmed — a frame
+        // in flight is bounded work, and a half-read frame cannot be
+        // requeued.
+        if stream.set_read_timeout(None).is_err() {
+            return None;
+        }
+        let body = match read_frame_after(first[0], &mut stream) {
+            Ok(body) => body,
+            Err(FrameError::Io(_)) => return None,
+            Err(FrameError::Protocol(e)) => {
+                // Bad length prefix or truncated body: the stream is no
+                // longer frame-aligned. Answer (best effort) and close.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                let body = encode_response(&Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                });
+                let _ = write_frame(&mut stream, &body);
+                return None;
+            }
+        };
+        let response = match decode_request(&body) {
+            Ok(request) => {
+                shared
+                    .counters
+                    .requests_total
+                    .fetch_add(1, Ordering::Relaxed);
+                handle_request(&shared.registry, &shared.counters, &request)
+            }
+            Err(e) => {
+                // The frame itself was well-formed, so the stream is still
+                // aligned: answer the typed error and keep serving.
+                shared
+                    .counters
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::Error {
+                    code: ErrorCode::Protocol,
+                    message: e.to_string(),
+                }
+            }
+        };
+        let body = encode_response(&response);
+        if write_frame(&mut stream, &body).is_err() {
+            return None;
+        }
+        if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+            return None;
+        }
+        // Fairness: a connection streaming requests back-to-back yields
+        // after a burst when others are waiting.
+        burst += 1;
+        if burst >= FAIR_BURST && others_waiting(shared) {
+            return Some(stream);
+        }
+    }
+}

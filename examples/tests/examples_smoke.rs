@@ -17,6 +17,7 @@ const EXAMPLES: &[&str] = &[
     "parallel_service",
     "streaming",
     "corpus_store",
+    "smoqed_demo",
 ];
 
 #[test]
