@@ -54,6 +54,55 @@ pub mod bits {
     //! helpers here are deliberately free functions over `&[u64]` /
     //! `&mut [u64]` so rows can live inline in larger flat allocations
     //! (the [`super::CompiledMfa`] tables) as well as in scratch buffers.
+    //!
+    //! ## Kernel selection
+    //!
+    //! The row-combining helpers ([`or_into`], [`any`], [`intersects`],
+    //! [`count`]) exist in two implementations: the original word-by-word
+    //! **scalar** loops, kept verbatim as the differential oracle, and
+    //! **wide** variants that process [`WIDE_CHUNK`] words per iteration so
+    //! the compiler can keep several independent OR/AND chains in flight
+    //! (and auto-vectorize them — the chunk widens to 8 words on targets
+    //! compiled with the `avx2` feature). Both produce identical results on
+    //! every input; the process-wide [`kernel`] switch (environment variable
+    //! `SMOQE_KERNEL=scalar|wide`, default `wide`) selects which one the
+    //! dispatching helpers run, and CI runs the differential suites under
+    //! both settings.
+
+    use std::sync::OnceLock;
+
+    /// Words processed per iteration by the wide kernels. Widened to 8 when
+    /// the target is compiled with AVX2 (a 512-bit OR per iteration once
+    /// auto-vectorized), 4 elsewhere.
+    #[cfg(target_feature = "avx2")]
+    pub const WIDE_CHUNK: usize = 8;
+    /// Words processed per iteration by the wide kernels. Widened to 8 when
+    /// the target is compiled with AVX2 (a 512-bit OR per iteration once
+    /// auto-vectorized), 4 elsewhere.
+    #[cfg(not(target_feature = "avx2"))]
+    pub const WIDE_CHUNK: usize = 4;
+
+    /// The micro-kernel implementation the dispatching helpers run.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Kernel {
+        /// The original word-by-word loops (the differential oracle).
+        Scalar,
+        /// The multi-word-per-iteration loops (the default).
+        Wide,
+    }
+
+    static KERNEL: OnceLock<Kernel> = OnceLock::new();
+
+    /// The process-wide kernel selection, read once from the `SMOQE_KERNEL`
+    /// environment variable (`scalar` forces the scalar oracle; anything
+    /// else, including unset, selects the wide kernels).
+    #[inline]
+    pub fn kernel() -> Kernel {
+        *KERNEL.get_or_init(|| match std::env::var("SMOQE_KERNEL").as_deref() {
+            Ok("scalar") => Kernel::Scalar,
+            _ => Kernel::Wide,
+        })
+    }
 
     /// Number of 64-bit words needed for `bit_count` bits (at least one).
     #[inline]
@@ -85,9 +134,20 @@ pub mod bits {
         words.fill(0);
     }
 
-    /// `dst |= src`. Returns `true` if `dst` changed.
+    /// `dst |= src`. Returns `true` if `dst` changed. Dispatches on
+    /// [`kernel`].
     #[inline]
     pub fn or_into(dst: &mut [u64], src: &[u64]) -> bool {
+        match kernel() {
+            Kernel::Scalar => or_into_scalar(dst, src),
+            Kernel::Wide => or_into_wide(dst, src),
+        }
+    }
+
+    /// The scalar `dst |= src` kernel: one word per iteration, change
+    /// detection folded into the loop.
+    #[inline]
+    pub fn or_into_scalar(dst: &mut [u64], src: &[u64]) -> bool {
         debug_assert_eq!(dst.len(), src.len());
         let mut changed = false;
         for (d, &s) in dst.iter_mut().zip(src) {
@@ -98,22 +158,124 @@ pub mod bits {
         changed
     }
 
-    /// `true` if any bit is set.
+    /// The wide `dst |= src` kernel: [`WIDE_CHUNK`] words per iteration
+    /// with the change bits accumulated into one diff word, so the chunk
+    /// body is branch-free and auto-vectorizes.
+    #[inline]
+    pub fn or_into_wide(dst: &mut [u64], src: &[u64]) -> bool {
+        debug_assert_eq!(dst.len(), src.len());
+        let n = dst.len();
+        let split = n - n % WIDE_CHUNK;
+        let mut diff = 0u64;
+        let (dc, dr) = dst.split_at_mut(split);
+        let (sc, sr) = src.split_at(split);
+        for (dchunk, schunk) in dc.chunks_exact_mut(WIDE_CHUNK).zip(sc.chunks_exact(WIDE_CHUNK)) {
+            for (d, &s) in dchunk.iter_mut().zip(schunk) {
+                let next = *d | s;
+                diff |= next ^ *d;
+                *d = next;
+            }
+        }
+        for (d, &s) in dr.iter_mut().zip(sr) {
+            let next = *d | s;
+            diff |= next ^ *d;
+            *d = next;
+        }
+        diff != 0
+    }
+
+    /// `true` if any bit is set. Dispatches on [`kernel`].
     #[inline]
     pub fn any(words: &[u64]) -> bool {
+        match kernel() {
+            Kernel::Scalar => any_scalar(words),
+            Kernel::Wide => any_wide(words),
+        }
+    }
+
+    /// The scalar emptiness kernel: early-exiting word loop.
+    #[inline]
+    pub fn any_scalar(words: &[u64]) -> bool {
         words.iter().any(|&w| w != 0)
     }
 
-    /// `true` if `a` and `b` share a set bit.
+    /// The wide emptiness kernel: ORs [`WIDE_CHUNK`] words per iteration.
+    #[inline]
+    pub fn any_wide(words: &[u64]) -> bool {
+        let split = words.len() - words.len() % WIDE_CHUNK;
+        for chunk in words[..split].chunks_exact(WIDE_CHUNK) {
+            if chunk.iter().fold(0u64, |acc, &w| acc | w) != 0 {
+                return true;
+            }
+        }
+        words[split..].iter().any(|&w| w != 0)
+    }
+
+    /// `true` if `a` and `b` share a set bit. Dispatches on [`kernel`].
     #[inline]
     pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        match kernel() {
+            Kernel::Scalar => intersects_scalar(a, b),
+            Kernel::Wide => intersects_wide(a, b),
+        }
+    }
+
+    /// The scalar intersection kernel: early-exiting word loop.
+    #[inline]
+    pub fn intersects_scalar(a: &[u64], b: &[u64]) -> bool {
         a.iter().zip(b).any(|(&x, &y)| x & y != 0)
     }
 
-    /// Number of set bits.
+    /// The wide intersection kernel: ANDs [`WIDE_CHUNK`] word pairs per
+    /// iteration into one accumulator.
+    #[inline]
+    pub fn intersects_wide(a: &[u64], b: &[u64]) -> bool {
+        let n = a.len().min(b.len());
+        let split = n - n % WIDE_CHUNK;
+        for (ca, cb) in a[..split]
+            .chunks_exact(WIDE_CHUNK)
+            .zip(b[..split].chunks_exact(WIDE_CHUNK))
+        {
+            let mut acc = 0u64;
+            for (&x, &y) in ca.iter().zip(cb) {
+                acc |= x & y;
+            }
+            if acc != 0 {
+                return true;
+            }
+        }
+        a[split..n].iter().zip(&b[split..n]).any(|(&x, &y)| x & y != 0)
+    }
+
+    /// Number of set bits. Dispatches on [`kernel`].
     #[inline]
     pub fn count(words: &[u64]) -> usize {
+        match kernel() {
+            Kernel::Scalar => count_scalar(words),
+            Kernel::Wide => count_wide(words),
+        }
+    }
+
+    /// The scalar popcount kernel: one `count_ones` per word.
+    #[inline]
+    pub fn count_scalar(words: &[u64]) -> usize {
         words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The wide popcount kernel: [`WIDE_CHUNK`] independent popcount chains
+    /// per iteration.
+    #[inline]
+    pub fn count_wide(words: &[u64]) -> usize {
+        let split = words.len() - words.len() % WIDE_CHUNK;
+        let mut total = 0usize;
+        for chunk in words[..split].chunks_exact(WIDE_CHUNK) {
+            let mut sub = 0u32;
+            for &w in chunk {
+                sub += w.count_ones();
+            }
+            total += sub as usize;
+        }
+        total + words[split..].iter().map(|w| w.count_ones() as usize).sum::<usize>()
     }
 
     /// Number of set bits strictly below `bit` — the index a bit's state
@@ -290,6 +452,12 @@ pub struct CompiledMfa {
     /// Per column: bitset of the transition states matching it — a one-AND
     /// pre-filter before walking `req_trans`.
     req_mask: Box<[u64]>,
+    /// Per column: one `afa_words` operator-closure row per `req_trans`
+    /// entry (same order — ascending trans-state id), each the target's
+    /// `op_closure`. The fused step-then-close pass ORs a row straight from
+    /// a popcount rank over `req_mask`, touching one contiguous table
+    /// instead of chasing `(state, target)` pairs into `op_closure`.
+    req_closure: Box<[u64]>,
     /// Per column: the value-accumulator slot for `Trans` states on that
     /// label, `u32::MAX` when no transition state mentions the label.
     slot_of_col: Box<[u32]>,
@@ -507,6 +675,14 @@ impl CompiledMfa {
             }
             row
         }));
+        // Fused-pass companion to `req_trans`: materialize each target's
+        // operator-closure row next to its entry so the hot loop never
+        // indirects back through `op_closure`.
+        let mut req_closure = vec![0u64; req_trans.data.len() * aw];
+        for (i, &(_, tgt)) in req_trans.data.iter().enumerate() {
+            req_closure[i * aw..(i + 1) * aw]
+                .copy_from_slice(&op_closure[tgt as usize * aw..(tgt as usize + 1) * aw]);
+        }
 
         // λ annotations: AFA start ids and their closed trigger rows.
         let mut afa_start_of = vec![u32::MAX; n];
@@ -544,6 +720,7 @@ impl CompiledMfa {
             op_closure: op_closure.into_boxed_slice(),
             req_trans,
             req_mask: req_mask.into_boxed_slice(),
+            req_closure: req_closure.into_boxed_slice(),
             slot_of_col: slot_of_col.into_boxed_slice(),
             slots,
         }
@@ -695,6 +872,19 @@ impl CompiledMfa {
         &self.req_mask[col as usize * w..(col as usize + 1) * w]
     }
 
+    /// Fused closure rows for `col`: one `afa_words()` row per
+    /// [`req_transitions`](Self::req_transitions) entry, in the same
+    /// (ascending trans-state) order, each the entry target's
+    /// [`op_closure`](Self::op_closure). Row `i` for a column is located by
+    /// ranking the `i`-th set bit of [`req_mask`](Self::req_mask).
+    #[inline]
+    pub fn req_closure_rows(&self, col: u32) -> &[u64] {
+        let w = self.afa_words as usize;
+        let from = self.req_trans.offsets[col as usize] as usize;
+        let to = self.req_trans.offsets[col as usize + 1] as usize;
+        &self.req_closure[from * w..to * w]
+    }
+
     /// The value-accumulator slot of `label`'s column, if any transition
     /// state mentions the label.
     #[inline]
@@ -726,6 +916,7 @@ impl CompiledMfa {
             + self.step_closure.len()
             + self.op_closure.len()
             + self.req_mask.len()
+            + self.req_closure.len()
             + self.trigger.len()
             + self.final_mask.len())
             + 4 * (self.eps.data.len()
@@ -844,6 +1035,128 @@ mod tests {
         assert!(bits::any(&w));
         bits::clear(&mut w);
         assert!(!bits::any(&w));
+    }
+
+    /// Naive reference popcount: test every bit position one at a time.
+    fn naive_count(words: &[u64]) -> usize {
+        (0..words.len() * 64)
+            .filter(|&b| bits::test(words, b as u32))
+            .count()
+    }
+
+    /// Naive reference rank: count set bits strictly below `bit`.
+    fn naive_rank(words: &[u64], bit: u32) -> u32 {
+        (0..bit).filter(|&b| bits::test(words, b)).count() as u32
+    }
+
+    #[test]
+    fn bitset_word_boundary_sweeps() {
+        // Sweep row widths that straddle the u64 word boundary: every bit
+        // set alone must round-trip through set/test/unset, and rank/count
+        // must agree with a naive per-bit loop in both kernels.
+        for bit_count in [63usize, 64, 65, 127, 128] {
+            let words = bits::words_for(bit_count);
+            assert_eq!(words, bit_count.div_ceil(64));
+            let mut row = vec![0u64; words];
+            for b in 0..bit_count as u32 {
+                bits::set(&mut row, b);
+                assert!(bits::test(&row, b), "bit {b} of {bit_count}");
+                assert_eq!(bits::count_scalar(&row), 1);
+                assert_eq!(bits::count_wide(&row), 1);
+                assert_eq!(bits::rank(&row, b), 0);
+                assert_eq!(bits::ones(&row).collect::<Vec<_>>(), vec![b]);
+                bits::unset(&mut row, b);
+                assert!(!bits::any_scalar(&row) && !bits::any_wide(&row));
+            }
+            // Dense fill: every prefix rank matches the naive loop.
+            for b in 0..bit_count as u32 {
+                bits::set(&mut row, b);
+            }
+            assert_eq!(bits::count_scalar(&row), naive_count(&row));
+            assert_eq!(bits::count_wide(&row), naive_count(&row));
+            for b in (0..bit_count as u32).step_by(7) {
+                assert_eq!(bits::rank(&row, b), naive_rank(&row, b));
+            }
+        }
+    }
+
+    #[test]
+    fn or_into_change_detection_both_kernels() {
+        for words in [1usize, 2, 3, 5, 8, 9] {
+            let mut dst = vec![0u64; words];
+            let mut src = vec![0u64; words];
+            bits::set(&mut src, (words as u32 * 64) - 1);
+            bits::set(&mut src, 0);
+            // First OR flips bits in the first and last word: changed.
+            assert!(bits::or_into_scalar(&mut dst.clone(), &src));
+            assert!(bits::or_into_wide(&mut dst, &src));
+            // Second OR of the same row is a no-op: unchanged.
+            assert!(!bits::or_into_scalar(&mut dst.clone(), &src));
+            assert!(!bits::or_into_wide(&mut dst, &src));
+            // A strict subset is also a no-op.
+            let mut sub = vec![0u64; words];
+            bits::set(&mut sub, 0);
+            assert!(!bits::or_into_scalar(&mut dst.clone(), &sub));
+            assert!(!bits::or_into_wide(&mut dst, &sub));
+        }
+    }
+
+    #[test]
+    fn wide_kernels_match_scalar_on_patterned_rows() {
+        // Deterministic pseudo-random rows (xorshift) across widths that
+        // cover both the chunked body and the remainder loop.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for words in 1usize..=(2 * bits::WIDE_CHUNK + 1) {
+            for _ in 0..16 {
+                let a: Vec<u64> = (0..words).map(|_| next()).collect();
+                let b: Vec<u64> = (0..words).map(|_| next() & next()).collect();
+                assert_eq!(bits::any_scalar(&a), bits::any_wide(&a));
+                assert_eq!(bits::count_scalar(&a), bits::count_wide(&a));
+                assert_eq!(bits::count_scalar(&a), naive_count(&a));
+                assert_eq!(
+                    bits::intersects_scalar(&a, &b),
+                    bits::intersects_wide(&a, &b)
+                );
+                let mut ds = b.clone();
+                let mut dw = b.clone();
+                let cs = bits::or_into_scalar(&mut ds, &a);
+                let cw = bits::or_into_wide(&mut dw, &a);
+                assert_eq!(ds, dw);
+                assert_eq!(cs, cw);
+            }
+        }
+    }
+
+    #[test]
+    fn req_closure_rows_mirror_req_transitions() {
+        for q in ["a[b and c]/d[e]", "(a/b)*/c", "a[b or (c and d)]/e"] {
+            let (_, cm) = compiled(q);
+            let aw = cm.afa_words();
+            for col in 0..cm.columns() {
+                let entries = cm.req_transitions(col);
+                let rows = cm.req_closure_rows(col);
+                assert_eq!(rows.len(), entries.len() * aw, "{q} col {col}");
+                // The mask's set bits, in ascending order, are exactly the
+                // entry trans-states — the rank-indexing contract of the
+                // fused pass.
+                let mask_bits: Vec<u32> = bits::ones(cm.req_mask(col)).collect();
+                let entry_states: Vec<u32> = entries.iter().map(|&(g, _)| g).collect();
+                assert_eq!(mask_bits, entry_states, "{q} col {col}");
+                for (i, &(_, tgt)) in entries.iter().enumerate() {
+                    assert_eq!(
+                        &rows[i * aw..(i + 1) * aw],
+                        cm.op_closure(tgt),
+                        "{q} col {col} entry {i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ use crate::index::ReachabilityIndex;
 ///   and OptHyPE therefore share the same denominator and their
 ///   [`pruned_fraction`](Self::pruned_fraction) values are directly
 ///   comparable.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct HypeStats {
     /// Number of element nodes in the evaluated subtree.
     pub nodes_total: usize,
@@ -62,7 +62,29 @@ pub struct HypeStats {
     pub cans_edges: usize,
     /// Number of Boolean filter variables (`X(node, state)`) computed.
     pub afa_values_computed: usize,
+    /// Largest single work unit's share of the physically visited nodes in
+    /// the parallel pass that produced this result, in `[0, 1]` — `0.0` for
+    /// sequential, streamed and incremental runs. Pure scheduling
+    /// observability (shard skew), dependent on the thread budget:
+    /// **excluded from equality**, so parallel results still compare equal
+    /// to sequential ones under the bit-identity contract.
+    pub max_shard_fraction: f64,
 }
+
+// Equality covers the five evaluation counters only — `max_shard_fraction`
+// describes how the work was *scheduled*, not what was computed, and the
+// differential suites assert parallel == sequential stats.
+impl PartialEq for HypeStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes_total == other.nodes_total
+            && self.nodes_visited == other.nodes_visited
+            && self.cans_vertices == other.cans_vertices
+            && self.cans_edges == other.cans_edges
+            && self.afa_values_computed == other.afa_values_computed
+    }
+}
+
+impl Eq for HypeStats {}
 
 impl HypeStats {
     /// Fraction of element nodes that were *not* visited (pruned), in `[0, 1]`.

@@ -169,55 +169,121 @@ fn collect_answers_impl(
 }
 
 /// Pooled per-node, per-query working state: every bitset row one node
-/// visit needs. A visit takes one from the owning runtime's pool and
+/// visit needs, laid out structure-of-arrays in **one flat allocation**:
+///
+/// ```text
+/// buf: [ mstates (nw) | closure (aw) | values (aw) | acc_any (aw) | acc (slots × aw) ]
+/// ```
+///
+/// A visit touches the regions in exactly this order — NFA step rows, then
+/// the filter closure, then (at close) the value row and the parent's
+/// accumulators — so the whole per-node working set is one contiguous cache
+/// run, and [`LocalScratch::reset`] is a single `fill(0)` instead of five
+/// separate clears. A visit takes one from the owning runtime's pool and
 /// returns it at close, so steady-state traversal allocates nothing.
 #[derive(Debug)]
 pub(crate) struct LocalScratch {
-    /// NFA states assumed at this node (ε-closed), `nfa_words` words.
-    mstates: Vec<u64>,
-    /// Closed pending filter states, `afa_words` words.
-    closure: Vec<u64>,
-    /// Filter states that evaluated to *true* here (filled at close).
-    values: Vec<u64>,
-    /// OR of all closed children's `values` (wildcard transitions).
-    acc_any: Vec<u64>,
-    /// Per label slot: OR of the matching children's `values` (flat,
-    /// `slots × afa_words`).
-    acc: Vec<u64>,
+    /// The flat SoA row (layout above).
+    buf: Vec<u64>,
+    /// Words per NFA bitset row (width of the `mstates` region).
+    nw: usize,
+    /// Words per AFA bitset row (width of every other region).
+    aw: usize,
     /// First `cans` vertex id of this node (states ascending).
     vertex_base: u32,
 }
 
 impl LocalScratch {
     fn sized(cm: &CompiledMfa) -> Self {
+        let nw = cm.nfa_words();
         let aw = cm.afa_words();
         LocalScratch {
-            mstates: vec![0; cm.nfa_words()],
-            closure: vec![0; aw],
-            values: vec![0; aw],
-            acc_any: vec![0; aw],
-            acc: vec![0; cm.slot_count() as usize * aw],
+            buf: vec![0; nw + aw * (3 + cm.slot_count() as usize)],
+            nw,
+            aw,
             vertex_base: 0,
         }
     }
 
     fn reset(&mut self) {
-        bits::clear(&mut self.mstates);
-        bits::clear(&mut self.closure);
-        bits::clear(&mut self.values);
-        bits::clear(&mut self.acc_any);
-        bits::clear(&mut self.acc);
+        self.buf.fill(0);
         self.vertex_base = 0;
     }
 
+    /// NFA states assumed at this node (ε-closed).
     #[inline]
-    fn acc_slot(&self, slot: u32, afa_words: usize) -> &[u64] {
-        &self.acc[slot as usize * afa_words..(slot as usize + 1) * afa_words]
+    fn mstates(&self) -> &[u64] {
+        &self.buf[..self.nw]
     }
 
     #[inline]
-    fn acc_slot_mut(&mut self, slot: u32, afa_words: usize) -> &mut [u64] {
-        &mut self.acc[slot as usize * afa_words..(slot as usize + 1) * afa_words]
+    fn mstates_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[..self.nw]
+    }
+
+    /// Closed pending filter states.
+    #[inline]
+    fn closure(&self) -> &[u64] {
+        &self.buf[self.nw..self.nw + self.aw]
+    }
+
+    #[inline]
+    fn closure_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.nw..self.nw + self.aw]
+    }
+
+    /// `mstates` and `closure` borrowed mutably at once (for the λ-trigger
+    /// pass, which reads one while OR-ing into the other).
+    #[inline]
+    fn mstates_closure_mut(&mut self) -> (&mut [u64], &mut [u64]) {
+        let (mstates, rest) = self.buf.split_at_mut(self.nw);
+        (mstates, &mut rest[..self.aw])
+    }
+
+    /// Filter states that evaluated to *true* here (filled at close).
+    #[inline]
+    fn values(&self) -> &[u64] {
+        &self.buf[self.nw + self.aw..self.nw + 2 * self.aw]
+    }
+
+    #[inline]
+    fn values_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.nw + self.aw..self.nw + 2 * self.aw]
+    }
+
+    /// OR of all closed children's `values` (wildcard transitions).
+    #[inline]
+    fn acc_any(&self) -> &[u64] {
+        &self.buf[self.nw + 2 * self.aw..self.nw + 3 * self.aw]
+    }
+
+    #[inline]
+    fn acc_any_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.nw + 2 * self.aw..self.nw + 3 * self.aw]
+    }
+
+    /// Per label slot: OR of the matching children's `values` (flat,
+    /// `slots × aw`).
+    #[inline]
+    fn acc(&self) -> &[u64] {
+        &self.buf[self.nw + 3 * self.aw..]
+    }
+
+    #[inline]
+    fn acc_mut(&mut self) -> &mut [u64] {
+        &mut self.buf[self.nw + 3 * self.aw..]
+    }
+
+    #[inline]
+    fn acc_slot(&self, slot: u32) -> &[u64] {
+        let at = self.nw + (3 + slot as usize) * self.aw;
+        &self.buf[at..at + self.aw]
+    }
+
+    #[inline]
+    fn acc_slot_mut(&mut self, slot: u32) -> &mut [u64] {
+        let at = self.nw + (3 + slot as usize) * self.aw;
+        &mut self.buf[at..at + self.aw]
     }
 }
 
@@ -242,6 +308,10 @@ pub(crate) struct QueryRuntime<'a> {
     /// Value-evaluation scratch (one row each), cleared per close.
     computed: Vec<u64>,
     in_progress: Vec<u64>,
+    /// Cached kernel selection ([`bits::kernel`]): `true` runs the fused
+    /// step-then-close row pass over `req_closure_rows`, `false` the
+    /// original per-entry `req_transitions` scan (the differential oracle).
+    fused: bool,
 }
 
 impl<'a> QueryRuntime<'a> {
@@ -263,6 +333,7 @@ impl<'a> QueryRuntime<'a> {
             free_locals: Vec::new(),
             computed: vec![0; aw],
             in_progress: vec![0; aw],
+            fused: bits::kernel() == bits::Kernel::Wide,
             cm: compiled,
         }
     }
@@ -423,8 +494,8 @@ impl<'a> QueryRuntime<'a> {
         bits::clear(&mut self.in_progress);
         // The closure word is copied out (not iterated with `bits::ones`)
         // because `value_of` needs `sc` mutably for the memoised values.
-        for wi in 0..sc.closure.len() {
-            let mut w = sc.closure[wi];
+        for wi in 0..sc.aw {
+            let mut w = sc.closure()[wi];
             while w != 0 {
                 let g = wi as u32 * 64 + w.trailing_zeros();
                 w &= w - 1;
@@ -468,7 +539,7 @@ fn value_of(
     stats: &mut HypeStats,
 ) -> bool {
     if bits::test(computed, g) {
-        return bits::test(&sc.values, g);
+        return bits::test(sc.values(), g);
     }
     if bits::test(in_progress, g) {
         // ε-cycle among operator states (degenerate `(.)*` filters):
@@ -494,10 +565,10 @@ fn value_of(
             .any(|&c| value_of(cm, c, node_text, computed, in_progress, sc, stats)),
         CompiledAfaState::Trans { label, tgt } => {
             if *label == ANY_LABEL {
-                bits::test(&sc.acc_any, *tgt)
+                bits::test(sc.acc_any(), *tgt)
             } else {
                 match cm.slot_of_label(*label) {
-                    Some(slot) => bits::test(sc.acc_slot(slot, cm.afa_words()), *tgt),
+                    Some(slot) => bits::test(sc.acc_slot(slot), *tgt),
                     None => false,
                 }
             }
@@ -506,7 +577,7 @@ fn value_of(
     bits::unset(in_progress, g);
     bits::set(computed, g);
     if value {
-        bits::set(&mut sc.values, g);
+        bits::set(sc.values_mut(), g);
     }
     value
 }
@@ -560,6 +631,76 @@ pub(crate) struct ShardQueryOutput {
     pub acc_any: Vec<u64>,
     /// Per-label-slot accumulator rows for the real context frame.
     pub acc: Vec<u64>,
+}
+
+impl ShardQueryOutput {
+    /// Grafts a re-split child unit's arena into this *spine* unit, making
+    /// the combined output indistinguishable from one worker having walked
+    /// the whole spine subtree alone.
+    ///
+    /// `self` is a spine unit fresh out of [`HypeCore::into_shard_outputs`]:
+    /// `context_vertices` parent-seed placeholders, then exactly
+    /// `sub.context_vertices` vertices for the spine node itself (the spine
+    /// core opened only that node before its children were farmed out). The
+    /// child unit `sub` was seeded from the spine's frame, so its first
+    /// `sub.context_vertices` vertices are placeholders for those same spine
+    /// vertices. Grafting appends `sub`'s subtree vertices and edges with
+    /// their ids shifted, and splices each placeholder's edge list onto the
+    /// corresponding spine vertex. Edge-list order within a vertex is
+    /// irrelevant to collection (reachability over a set), so arrival order
+    /// of child units does not affect answers or any counter.
+    pub fn graft_child_unit(&mut self, sub: &ShardQueryOutput) {
+        let k = sub.context_vertices as usize;
+        let base = self.context_vertices as usize;
+        debug_assert!(self.cans.len() >= base + k, "spine vertices are present");
+        // Ids `< k` in `sub` are spine placeholders → spine vertices at
+        // `base..base + k`; ids `>= k` are subtree vertices → appended after
+        // the current arena end.
+        let dv = (self.cans.len() - k) as u32;
+        let de = self.edges.len() as u32;
+        for &(target, next) in &sub.edges {
+            let target = if (target as usize) < k {
+                base as u32 + target
+            } else {
+                target + dv
+            };
+            let next = if next == NO_EDGE { NO_EDGE } else { next + de };
+            self.edges.push((target, next));
+        }
+        for v in &sub.cans[k..] {
+            self.cans.push(CansVertex {
+                node: v.node,
+                is_final: v.is_final,
+                valid: v.valid,
+                edge_head: if v.edge_head == NO_EDGE {
+                    NO_EDGE
+                } else {
+                    v.edge_head + de
+                },
+            });
+        }
+        // Splice each placeholder's (copied) edge list onto its spine
+        // vertex: walk the copied list to its tail and chain the spine
+        // vertex's existing list behind it.
+        for j in 0..k {
+            let head = sub.cans[j].edge_head;
+            if head == NO_EDGE {
+                continue;
+            }
+            let mut e = head + de;
+            loop {
+                let next = self.edges[e as usize].1;
+                if next == NO_EDGE {
+                    break;
+                }
+                e = next;
+            }
+            self.edges[e as usize].1 = self.cans[base + j].edge_head;
+            self.cans[base + j].edge_head = head + de;
+        }
+        self.stats.nodes_visited += sub.stats.nodes_visited;
+        self.stats.afa_values_computed += sub.stats.afa_values_computed;
+    }
 }
 
 /// One query's context block from the main core of a parallel run (see
@@ -631,23 +772,49 @@ impl<'a> HypeCore<'a> {
 
                 // Child mstates: step every pending state on the column and
                 // ε-close, all via precompiled rows.
-                for s in bits::ones(&pl.scratch.mstates) {
-                    bits::or_into(&mut sc.mstates, rt.cm.step_closure(s, col));
+                for s in bits::ones(pl.scratch.mstates()) {
+                    bits::or_into(sc.mstates_mut(), rt.cm.step_closure(s, col));
                 }
                 // Closed filter requests propagated through matching
                 // transition states.
-                if bits::intersects(rt.cm.req_mask(col), &pl.scratch.closure) {
-                    for &(g, tgt) in rt.cm.req_transitions(col) {
-                        if bits::test(&pl.scratch.closure, g) {
-                            bits::or_into(&mut sc.closure, rt.cm.op_closure(tgt));
+                let mask = rt.cm.req_mask(col);
+                let p_closure = pl.scratch.closure();
+                if bits::intersects(mask, p_closure) {
+                    if rt.fused {
+                        // Fused row pass: AND the column mask against the
+                        // parent closure, and for every hit OR the
+                        // precomputed `req_closure` row found by popcount
+                        // rank — one contiguous table walk, no per-entry
+                        // bit probing or `op_closure` indirection.
+                        let aw = rt.cm.afa_words();
+                        let rows = rt.cm.req_closure_rows(col);
+                        let dst = sc.closure_mut();
+                        let mut base = 0u32;
+                        for (wi, &mw) in mask.iter().enumerate() {
+                            let mut hits = mw & p_closure[wi];
+                            while hits != 0 {
+                                let b = hits.trailing_zeros();
+                                hits &= hits - 1;
+                                let idx =
+                                    (base + (mw & ((1u64 << b) - 1)).count_ones()) as usize;
+                                bits::or_into(dst, &rows[idx * aw..(idx + 1) * aw]);
+                            }
+                            base += mw.count_ones();
+                        }
+                    } else {
+                        // Scalar oracle: the original per-entry scan.
+                        for &(g, tgt) in rt.cm.req_transitions(col) {
+                            if bits::test(p_closure, g) {
+                                bits::or_into(sc.closure_mut(), rt.cm.op_closure(tgt));
+                            }
                         }
                     }
                 }
-                if !bits::any(&sc.mstates) && !bits::any(&sc.closure) {
+                if !bits::any(sc.mstates()) && !bits::any(sc.closure()) {
                     rt.free_local(sc); // basic pruning: nothing can happen below
                     continue;
                 }
-                if rt.can_skip(label, &sc.mstates, &sc.closure) {
+                if rt.can_skip(label, sc.mstates(), sc.closure()) {
                     rt.free_local(sc); // index pruning: pending work is dead
                     continue;
                 }
@@ -658,11 +825,11 @@ impl<'a> HypeCore<'a> {
                 // Vertices and within-node ε edges.
                 build_vertices(&mut rt.cans, &mut rt.edges, &rt.cm, node, &mut sc);
                 // Edges from the parent's vertices into this node's states.
-                for (kp, sp) in bits::ones(&pl.scratch.mstates).enumerate() {
+                for (kp, sp) in bits::ones(pl.scratch.mstates()).enumerate() {
                     let vp = pl.scratch.vertex_base + kp as u32;
                     for &tgt in rt.cm.step_targets(sp, col) {
-                        if bits::test(&sc.mstates, tgt) {
-                            let to = sc.vertex_base + bits::rank(&sc.mstates, tgt);
+                        if bits::test(sc.mstates(), tgt) {
+                            let to = sc.vertex_base + bits::rank(sc.mstates(), tgt);
                             push_edge(&mut rt.cans, &mut rt.edges, vp, to);
                         }
                     }
@@ -680,7 +847,7 @@ impl<'a> HypeCore<'a> {
             // start state and no pending filter requests — never pruned.
             for (query, rt) in self.runtimes.iter_mut().enumerate() {
                 let mut sc = rt.alloc_local();
-                bits::or_into(&mut sc.mstates, rt.cm.state_closure(rt.cm.start()));
+                bits::or_into(sc.mstates_mut(), rt.cm.state_closure(rt.cm.start()));
                 rt.stats.nodes_visited += 1;
                 add_triggers(&rt.cm, &mut sc);
                 build_vertices(&mut rt.cans, &mut rt.edges, &rt.cm, node, &mut sc);
@@ -715,9 +882,9 @@ impl<'a> HypeCore<'a> {
             rt.compute_values(node_text, &mut local.scratch);
 
             // Invalidate vertices whose λ-annotated filter is false here.
-            for (k, s) in bits::ones(&local.scratch.mstates).enumerate() {
+            for (k, s) in bits::ones(local.scratch.mstates()).enumerate() {
                 if let Some(g) = rt.cm.afa_start_of(s) {
-                    if !bits::test(&local.scratch.values, g) {
+                    if !bits::test(local.scratch.values(), g) {
                         rt.cans[local.scratch.vertex_base as usize + k].valid = false;
                     }
                 }
@@ -726,9 +893,9 @@ impl<'a> HypeCore<'a> {
             if local.parent_slot == u32::MAX {
                 // Evaluation context: its entry state is the NFA start.
                 let start = rt.cm.start();
-                debug_assert!(bits::test(&local.scratch.mstates, start));
+                debug_assert!(bits::test(local.scratch.mstates(), start));
                 self.init_of[q] = vec![
-                    local.scratch.vertex_base + bits::rank(&local.scratch.mstates, start),
+                    local.scratch.vertex_base + bits::rank(local.scratch.mstates(), start),
                 ];
             } else {
                 let parent = self
@@ -736,12 +903,9 @@ impl<'a> HypeCore<'a> {
                     .last_mut()
                     .expect("non-context frame has a parent");
                 let psc = &mut parent.locals[local.parent_slot as usize].scratch;
-                bits::or_into(&mut psc.acc_any, &local.scratch.values);
+                bits::or_into(psc.acc_any_mut(), local.scratch.values());
                 if local.slot != u32::MAX {
-                    bits::or_into(
-                        psc.acc_slot_mut(local.slot, rt.cm.afa_words()),
-                        &local.scratch.values,
-                    );
+                    bits::or_into(psc.acc_slot_mut(local.slot), local.scratch.values());
                 }
             }
             rt.free_local(local.scratch);
@@ -773,10 +937,21 @@ impl<'a> HypeCore<'a> {
             .iter()
             .map(|l| ContextSeed {
                 query: l.query,
-                mstates: l.scratch.mstates.clone(),
-                closure: l.scratch.closure.clone(),
+                mstates: l.scratch.mstates().to_vec(),
+                closure: l.scratch.closure().to_vec(),
             })
             .collect()
+    }
+
+    /// The query ids of the innermost open frame's locals, in frame order.
+    /// Position `i` in the returned list is the index
+    /// [`Self::absorb_child_values`] expects for query `ids[i]` on this
+    /// core — the shard re-splitter needs this for *spine* frames, where
+    /// pruned queries drop out and frame positions stop matching global
+    /// query ids.
+    pub fn frame_query_ids(&self) -> Vec<u32> {
+        let frame = self.frames.last().expect("a frame is open");
+        frame.locals.iter().map(|l| l.query).collect()
     }
 
     /// Replays a context-frame snapshot into this (fresh) core, pushing one
@@ -791,15 +966,22 @@ impl<'a> HypeCore<'a> {
     /// stay with the main core, so nothing is double-counted.
     pub fn seed_context_frame(&mut self, node: NodeId, seeds: &[ContextSeed]) {
         debug_assert!(self.frames.is_empty(), "seed only a fresh core");
-        debug_assert_eq!(seeds.len(), self.runtimes.len());
+        // A context-frame snapshot covers every query; a *spine*-frame
+        // snapshot (shard re-splitting) may cover a subset — queries pruned
+        // at the spine node simply have no work in the whole subtree.
+        debug_assert!(seeds.len() <= self.runtimes.len());
+        debug_assert!(
+            seeds.windows(2).all(|w| w[0].query < w[1].query),
+            "seeds are in ascending query order"
+        );
         let mut frame = self.free_frames.pop().unwrap_or_default();
         for seed in seeds {
             let rt = &mut self.runtimes[seed.query as usize];
             let mut sc = rt.alloc_local();
-            sc.mstates.copy_from_slice(&seed.mstates);
-            sc.closure.copy_from_slice(&seed.closure);
+            sc.mstates_mut().copy_from_slice(&seed.mstates);
+            sc.closure_mut().copy_from_slice(&seed.closure);
             sc.vertex_base = rt.cans.len() as u32;
-            for _ in 0..bits::count(&sc.mstates) {
+            for _ in 0..bits::count(sc.mstates()) {
                 rt.cans.push(CansVertex {
                     node,
                     is_final: false,
@@ -817,15 +999,18 @@ impl<'a> HypeCore<'a> {
         self.frames.push(frame);
     }
 
-    /// ORs one shard's context-accumulator contribution for `query` into
-    /// the real context frame. OR is commutative and idempotent per bit, so
+    /// ORs one shard's context-accumulator contribution for the query at
+    /// frame position `query` into the innermost open frame. At the real
+    /// context frame, positions coincide with global query ids; at a spine
+    /// frame use [`Self::frame_query_ids`] to translate. OR is commutative
+    /// and idempotent per bit, so
     /// shard arrival order is irrelevant — the merged rows are bit-identical
     /// to what a sequential walk of all children would have accumulated.
     pub fn absorb_child_values(&mut self, query: usize, acc_any: &[u64], acc: &[u64]) {
         let frame = self.frames.last_mut().expect("context frame is open");
         let sc = &mut frame.locals[query].scratch;
-        bits::or_into(&mut sc.acc_any, acc_any);
-        bits::or_into(&mut sc.acc, acc);
+        bits::or_into(sc.acc_any_mut(), acc_any);
+        bits::or_into(sc.acc_mut(), acc);
     }
 
     /// Consumes a shard core after its subtree walk: pops the seeded
@@ -836,15 +1021,39 @@ impl<'a> HypeCore<'a> {
     pub fn into_shard_outputs(mut self) -> (Vec<ShardQueryOutput>, usize) {
         let mut frame = self.frames.pop().expect("seeded context frame is open");
         debug_assert!(self.frames.is_empty(), "subtree walk left frames open");
+        // The seeded frame may cover a query subset (spine frames): slot
+        // each local by its query id so the outputs stay one-per-runtime.
+        let mut locals: Vec<Option<CoreLocal>> =
+            (0..self.runtimes.len()).map(|_| None).collect();
+        for local in frame.locals.drain(..) {
+            let q = local.query as usize;
+            debug_assert!(locals[q].is_none());
+            locals[q] = Some(local);
+        }
         let mut out = Vec::with_capacity(self.runtimes.len());
-        for (local, rt) in frame.locals.drain(..).zip(self.runtimes) {
-            out.push(ShardQueryOutput {
-                context_vertices: bits::count(&local.scratch.mstates) as u32,
-                cans: rt.cans,
-                edges: rt.edges,
-                stats: rt.stats,
-                acc_any: local.scratch.acc_any,
-                acc: local.scratch.acc,
+        for (local, rt) in locals.into_iter().zip(self.runtimes) {
+            let aw = rt.cm.afa_words();
+            let slots = rt.cm.slot_count() as usize;
+            out.push(match local {
+                Some(local) => ShardQueryOutput {
+                    context_vertices: bits::count(local.scratch.mstates()) as u32,
+                    cans: rt.cans,
+                    edges: rt.edges,
+                    stats: rt.stats,
+                    acc_any: local.scratch.acc_any().to_vec(),
+                    acc: local.scratch.acc().to_vec(),
+                },
+                // Query absent from the seeding (pruned at a spine node):
+                // nothing was walked for it, so its artefacts are empty and
+                // its accumulator rows all-zero.
+                None => ShardQueryOutput {
+                    context_vertices: 0,
+                    cans: rt.cans,
+                    edges: rt.edges,
+                    stats: rt.stats,
+                    acc_any: vec![0; aw],
+                    acc: vec![0; slots * aw],
+                },
             });
         }
         (out, self.physical_visits)
@@ -900,9 +1109,7 @@ fn push_edge(cans: &mut [CansVertex], edges: &mut Vec<(u32, u32)>, from_vertex: 
 /// ORs the closed trigger rows of every λ-annotated pending state into the
 /// node's filter closure.
 fn add_triggers(cm: &CompiledMfa, sc: &mut LocalScratch) {
-    let LocalScratch {
-        mstates, closure, ..
-    } = sc;
+    let (mstates, closure) = sc.mstates_closure_mut();
     for s in bits::ones(mstates) {
         if cm.afa_start_of(s).is_some() {
             bits::or_into(closure, cm.trigger_row(s));
@@ -920,7 +1127,7 @@ fn build_vertices(
     sc: &mut LocalScratch,
 ) {
     sc.vertex_base = cans.len() as u32;
-    for s in bits::ones(&sc.mstates) {
+    for s in bits::ones(sc.mstates()) {
         cans.push(CansVertex {
             node,
             is_final: cm.is_final(s),
@@ -928,11 +1135,11 @@ fn build_vertices(
             edge_head: NO_EDGE,
         });
     }
-    for (k, s) in bits::ones(&sc.mstates).enumerate() {
+    for (k, s) in bits::ones(sc.mstates()).enumerate() {
         let from = sc.vertex_base + k as u32;
         for &t in cm.eps_targets(s) {
-            if bits::test(&sc.mstates, t) {
-                let to = sc.vertex_base + bits::rank(&sc.mstates, t);
+            if bits::test(sc.mstates(), t) {
+                let to = sc.vertex_base + bits::rank(sc.mstates(), t);
                 push_edge(cans, edges, from, to);
             }
         }

@@ -83,7 +83,7 @@ impl Default for ServiceConfig {
 }
 
 /// Cache-effectiveness counters of a [`QueryService`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ServiceStats {
     /// Compiled-query lookups answered from cache.
     pub compiled_hits: u64,
@@ -105,7 +105,31 @@ pub struct ServiceStats {
     pub index_invalidations: u64,
     /// Indexes currently cached.
     pub index_cached: usize,
+    /// Shard skew of the most recent `answer_parallel` /
+    /// `evaluate_batch_parallel` call: the largest work unit's share of the
+    /// physically visited nodes, in `[0, 1]` (`0.0` before any parallel
+    /// call). Scheduling observability — excluded from equality, like
+    /// `HypeStats::max_shard_fraction`.
+    pub last_max_shard_fraction: f64,
 }
+
+// Equality covers the cache counters only; `last_max_shard_fraction` is
+// scheduling observability and thread-budget-dependent.
+impl PartialEq for ServiceStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.compiled_hits == other.compiled_hits
+            && self.compiled_misses == other.compiled_misses
+            && self.compiled_evictions == other.compiled_evictions
+            && self.compiled_cached == other.compiled_cached
+            && self.index_hits == other.index_hits
+            && self.index_misses == other.index_misses
+            && self.index_evictions == other.index_evictions
+            && self.index_invalidations == other.index_invalidations
+            && self.index_cached == other.index_cached
+    }
+}
+
+impl Eq for ServiceStats {}
 
 /// Key of the compiled-query cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -162,6 +186,9 @@ pub struct QueryService {
     index_hits: AtomicU64,
     index_misses: AtomicU64,
     index_invalidations: AtomicU64,
+    /// `f64::to_bits` of the most recent parallel call's largest work-unit
+    /// visit share (shard skew); see `ServiceStats::last_max_shard_fraction`.
+    last_max_shard_fraction: AtomicU64,
 }
 
 impl QueryService {
@@ -190,6 +217,7 @@ impl QueryService {
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
             index_invalidations: AtomicU64::new(0),
+            last_max_shard_fraction: AtomicU64::new(0.0f64.to_bits()),
         })
     }
 
@@ -357,13 +385,16 @@ impl QueryService {
     ) -> Result<HypeResult, EngineError> {
         let compiled = self.compile(query)?;
         let index = self.index_for_mode(&compiled, doc, mode);
-        Ok(smoqe_hype::evaluate_parallel_at_with(
+        let result = smoqe_hype::evaluate_parallel_at_with(
             doc,
             doc.root(),
             compiled.compiled(),
             index.as_deref(),
             self.parallel_threads,
-        ))
+        );
+        self.last_max_shard_fraction
+            .store(result.stats.max_shard_fraction.to_bits(), Ordering::Relaxed);
+        Ok(result)
     }
 
     /// Answers all of `queries` over `doc` in **one** document pass.
@@ -408,6 +439,10 @@ impl QueryService {
         let (unique, indexes, slot_of) = self.assemble_batch(queries, doc, mode)?;
         let batch = to_batch_queries(&unique, &indexes);
         let result = smoqe_hype::evaluate_batch_parallel(doc, &batch, self.parallel_threads);
+        if let Some(first) = result.results.first() {
+            self.last_max_shard_fraction
+                .store(first.stats.max_shard_fraction.to_bits(), Ordering::Relaxed);
+        }
         Ok(fan_out(result, &slot_of))
     }
 
@@ -602,6 +637,9 @@ impl QueryService {
             index_evictions: self.indexes.evictions(),
             index_invalidations: self.index_invalidations.load(Ordering::Relaxed),
             index_cached: self.indexes.len(),
+            last_max_shard_fraction: f64::from_bits(
+                self.last_max_shard_fraction.load(Ordering::Relaxed),
+            ),
         }
     }
 

@@ -361,6 +361,10 @@ pub struct WireHypeStats {
     pub cans_edges: u64,
     /// Boolean filter variables computed.
     pub afa_values_computed: u64,
+    /// `HypeStats::max_shard_fraction` as IEEE-754 bits (`f64::to_bits`),
+    /// keeping the wire struct `Eq` and the codec canonical — `to_bits` /
+    /// `from_bits` round-trip every value exactly.
+    pub max_shard_fraction_bits: u64,
 }
 
 impl WireHypeStats {
@@ -372,6 +376,7 @@ impl WireHypeStats {
             cans_vertices: s.cans_vertices as u64,
             cans_edges: s.cans_edges as u64,
             afa_values_computed: s.afa_values_computed as u64,
+            max_shard_fraction_bits: s.max_shard_fraction.to_bits(),
         }
     }
 
@@ -383,6 +388,7 @@ impl WireHypeStats {
             cans_vertices: self.cans_vertices as usize,
             cans_edges: self.cans_edges as usize,
             afa_values_computed: self.afa_values_computed as usize,
+            max_shard_fraction: f64::from_bits(self.max_shard_fraction_bits),
         }
     }
 }
@@ -443,6 +449,10 @@ pub struct WireServiceStats {
     pub index_invalidations: u64,
     /// Indexes resident.
     pub index_cached: u64,
+    /// `ServiceStats::last_max_shard_fraction` as IEEE-754 bits
+    /// (`f64::to_bits`), keeping the wire struct `Eq` and the codec
+    /// canonical.
+    pub last_max_shard_fraction_bits: u64,
 }
 
 impl WireServiceStats {
@@ -458,6 +468,7 @@ impl WireServiceStats {
             index_evictions: s.index_evictions,
             index_invalidations: s.index_invalidations,
             index_cached: s.index_cached as u64,
+            last_max_shard_fraction_bits: s.last_max_shard_fraction.to_bits(),
         }
     }
 }
@@ -791,6 +802,7 @@ fn enc_result(e: &mut Enc, r: &WireResult) {
     e.u64(r.stats.cans_vertices);
     e.u64(r.stats.cans_edges);
     e.u64(r.stats.afa_values_computed);
+    e.u64(r.stats.max_shard_fraction_bits);
 }
 
 fn dec_result(d: &mut Dec<'_>) -> Result<WireResult, ProtocolError> {
@@ -805,6 +817,7 @@ fn dec_result(d: &mut Dec<'_>) -> Result<WireResult, ProtocolError> {
         cans_vertices: d.u64()?,
         cans_edges: d.u64()?,
         afa_values_computed: d.u64()?,
+        max_shard_fraction_bits: d.u64()?,
     };
     Ok(WireResult { answers, stats })
 }
@@ -995,6 +1008,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     e.u64(s.index_evictions);
                     e.u64(s.index_invalidations);
                     e.u64(s.index_cached);
+                    e.u64(s.last_max_shard_fraction_bits);
                 }
                 None => e.bool(false),
             }
@@ -1064,6 +1078,7 @@ pub fn decode_response(body: &[u8]) -> Result<Response, ProtocolError> {
                     index_evictions: d.u64()?,
                     index_invalidations: d.u64()?,
                     index_cached: d.u64()?,
+                    last_max_shard_fraction_bits: d.u64()?,
                 })
             } else {
                 None

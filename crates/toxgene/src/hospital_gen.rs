@@ -80,6 +80,35 @@ const SPECIALTIES: &[&str] = &["cardiology", "oncology", "neurology", "general"]
 /// The output conforms to [`smoqe_xml::hospital::hospital_document_dtd`]
 /// (checked by the tests below) and is fully determined by the seed.
 pub fn generate_hospital(config: &HospitalConfig) -> XmlTree {
+    generate_with(config, |patient, departments| patient % departments)
+}
+
+/// Generates a hospital document with a deliberately skewed department
+/// fan-out: the first `⌊dominant_fraction · patients⌋` patients all land in
+/// department 0, the rest are spread round-robin over the remaining
+/// departments. Everything else — patient content, RNG stream, doctors —
+/// is byte-identical to [`generate_hospital`] at the same configuration,
+/// so evaluation answers over the whole document are unaffected; only the
+/// subtree shape (one dominant top-level subtree) changes. This is the
+/// adversarial input for the parallel evaluator's shard re-splitting.
+pub fn generate_skewed_hospital(config: &HospitalConfig, dominant_fraction: f64) -> XmlTree {
+    let dominant =
+        (config.patients as f64 * dominant_fraction.clamp(0.0, 1.0)).floor() as usize;
+    generate_with(config, move |patient, departments| {
+        if patient < dominant || departments == 1 {
+            0
+        } else {
+            1 + (patient - dominant) % (departments - 1)
+        }
+    })
+}
+
+/// Shared generator body: `assign(patient_index, departments)` names the
+/// department each patient lands in; everything else is policy-free.
+fn generate_with(
+    config: &HospitalConfig,
+    assign: impl Fn(usize, usize) -> usize,
+) -> XmlTree {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut b = XmlTreeBuilder::new();
     let root = b.root("hospital");
@@ -99,7 +128,7 @@ pub fn generate_hospital(config: &HospitalConfig) -> XmlTree {
         counter: 0,
     };
     for i in 0..config.patients {
-        let dept = department_nodes[i % departments];
+        let dept = department_nodes[assign(i, departments)];
         gen.patient(dept, config.max_ancestor_depth, true);
     }
 
@@ -267,6 +296,37 @@ mod tests {
         // Depth grows by 2 per ancestor level (parent + patient): 7 + 2*3 = 13,
         // matching the paper's "maximal depth of the trees is 13".
         assert!(deep.max_depth() <= 13);
+    }
+
+    #[test]
+    fn skewed_generator_concentrates_one_department() {
+        let config = HospitalConfig {
+            patients: 100,
+            departments: 4,
+            ..Default::default()
+        };
+        let doc = generate_skewed_hospital(&config, 0.8);
+        hospital_document_dtd().validate(&doc).unwrap();
+        doc.check_consistency().unwrap();
+        let depts = doc.children(doc.root());
+        assert_eq!(depts.len(), 4);
+        let sizes: Vec<usize> = depts.iter().map(|&d| doc.subtree_size(d)).collect();
+        let total: usize = sizes.iter().sum();
+        assert!(
+            sizes[0] * 10 >= total * 8,
+            "department 0 holds ≥80% of the nodes: {sizes:?}"
+        );
+
+        // Same RNG stream as the uniform generator: answers over the whole
+        // document are unchanged, only the subtree shape differs.
+        let uniform = generate_hospital(&config);
+        assert_eq!(doc.len(), uniform.len());
+        let q = parse_path("//patient[visit/treatment/medication/diagnosis/text()='heart disease']")
+            .unwrap();
+        assert_eq!(
+            evaluate(&doc, doc.root(), &q).len(),
+            evaluate(&uniform, uniform.root(), &q).len()
+        );
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod dtd_random;
 pub mod hospital_gen;
 
 pub use dtd_random::{generate_from_dtd, DtdGenConfig};
-pub use hospital_gen::{generate_hospital, HospitalConfig};
+pub use hospital_gen::{generate_hospital, generate_skewed_hospital, HospitalConfig};

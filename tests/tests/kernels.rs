@@ -1,0 +1,115 @@
+//! Property-based differential tests for the word-parallel bitset
+//! kernels: on arbitrary random rows, every `*_wide` kernel must agree
+//! bit-for-bit with its scalar oracle (`*_scalar`) and with a naive
+//! per-bit reference, at every row width — including the remainder tail
+//! that the chunked loops leave to the scalar epilogue.
+
+use proptest::prelude::*;
+
+use smoqe_automata::compiled::bits;
+
+/// Naive per-bit popcount reference.
+fn naive_count(words: &[u64]) -> usize {
+    let mut n = 0;
+    for wi in 0..words.len() {
+        for b in 0..64 {
+            if bits::test(words, (wi * 64 + b) as u32) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// A deterministic xorshift64* stream from a proptest-chosen seed.
+fn stream(mut state: u64) -> impl FnMut() -> u64 {
+    state |= 1; // xorshift must not start at zero
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+/// A `width`-word row with mixed density — all-zero words, saturated
+/// words and arbitrary patterns — so the early-exit paths (`any`,
+/// `intersects`) see both outcomes often.
+fn row(next: &mut impl FnMut() -> u64, width: usize) -> Vec<u64> {
+    (0..width)
+        .map(|_| {
+            let w = next();
+            match w % 3 {
+                0 => 0,
+                1 => u64::MAX,
+                _ => next(),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// `or_into` — result words, change-detection flag, and idempotence —
+    /// agree between the wide and scalar kernels at arbitrary widths.
+    #[test]
+    fn or_into_wide_matches_scalar(width in 1usize..24, seed in 0u64..1 << 48) {
+        let mut next = stream(seed);
+        let src = row(&mut next, width);
+        let dst0 = row(&mut next, width);
+
+        let mut scalar = dst0.clone();
+        let mut wide = dst0;
+        let changed_scalar = bits::or_into_scalar(&mut scalar, &src);
+        let changed_wide = bits::or_into_wide(&mut wide, &src);
+        prop_assert_eq!(&scalar, &wide);
+        prop_assert_eq!(changed_scalar, changed_wide);
+
+        // A second OR of the same source must report "unchanged" on both.
+        prop_assert!(!bits::or_into_scalar(&mut scalar, &src));
+        prop_assert!(!bits::or_into_wide(&mut wide, &src));
+        prop_assert_eq!(&scalar, &wide);
+    }
+
+    /// `any`, `count` — wide kernels agree with the scalar oracle and a
+    /// naive per-bit loop on arbitrary rows at every width prefix.
+    #[test]
+    fn unary_wide_kernels_match_scalar(seed in 0u64..1 << 48) {
+        let mut next = stream(seed);
+        let words = row(&mut next, 17);
+        for width in 1..=words.len() {
+            let prefix = &words[..width];
+            let expected = naive_count(prefix);
+            prop_assert_eq!(bits::count_scalar(prefix), expected);
+            prop_assert_eq!(bits::count_wide(prefix), expected);
+            prop_assert_eq!(bits::any_scalar(prefix), expected != 0);
+            prop_assert_eq!(bits::any_wide(prefix), expected != 0);
+        }
+    }
+
+    /// `intersects` — wide kernel agrees with the scalar oracle on
+    /// arbitrary row pairs (zero, saturated and mixed words).
+    #[test]
+    fn intersects_wide_matches_scalar(seed in 0u64..1 << 48) {
+        let mut next = stream(seed);
+        let a = row(&mut next, 13);
+        let b = row(&mut next, 13);
+        for width in 1..=a.len() {
+            let (a, b) = (&a[..width], &b[..width]);
+            prop_assert_eq!(bits::intersects_wide(a, b), bits::intersects_scalar(a, b));
+        }
+    }
+
+    /// `rank` agrees with counting the set bits strictly below the pivot.
+    #[test]
+    fn rank_matches_prefix_count(seed in 0u64..1 << 48, bit in 0u32..320) {
+        let mut next = stream(seed);
+        let words = row(&mut next, 5);
+        let below = (0..bit).filter(|&b| bits::test(&words, b)).count() as u32;
+        prop_assert_eq!(bits::rank(&words, bit), below);
+    }
+}

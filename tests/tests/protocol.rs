@@ -73,6 +73,7 @@ fn sample_result() -> WireResult {
             cans_vertices: 7,
             cans_edges: 6,
             afa_values_computed: 256,
+            max_shard_fraction_bits: 0.25f64.to_bits(),
         },
     }
 }
@@ -126,6 +127,7 @@ fn sample_responses() -> Vec<Response> {
                 index_evictions: 7,
                 index_invalidations: 8,
                 index_cached: 9,
+                last_max_shard_fraction_bits: 0.5f64.to_bits(),
             }),
         }),
         Response::Error {
