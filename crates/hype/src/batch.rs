@@ -234,19 +234,34 @@ pub fn evaluate_batch_compiled_at(
     }
 }
 
-/// The recursive tree driver of the shared core: open the node (the core
-/// decides per query whether it has work, pruning exactly as a solo run
-/// would), descend into the children only when some query kept the subtree
-/// alive, and close bottom-up. Also drives each shard of a parallel run
+/// The tree driver of the shared core: open the node (the core decides per
+/// query whether it has work, pruning exactly as a solo run would), descend
+/// into the children only when some query kept the subtree alive, and close
+/// bottom-up. Also drives each shard of a parallel run
 /// ([`crate::parallel`]), whose cores are seeded with the context frame.
+///
+/// The traversal is iterative — an explicit `(node, next-child)` frame
+/// stack — because document depth is adversarial input (deep `parent` or
+/// `part` chains) and must not overflow the call stack. Open/close order is
+/// identical to the natural recursion, so statistics are unchanged.
 pub(crate) fn walk(core: &mut HypeCore, tree: &XmlTree, node: NodeId) {
     if !core.open(node, tree.label(node)) {
         return; // every query pruned the subtree: the moral "do not recurse"
     }
-    for &child in tree.children(node) {
-        walk(core, tree, child);
+    let mut stack: Vec<(NodeId, usize)> = vec![(node, 0)];
+    while let Some(&mut (open_node, ref mut next)) = stack.last_mut() {
+        let children = tree.children(open_node);
+        if *next < children.len() {
+            let child = children[*next];
+            *next += 1;
+            if core.open(child, tree.label(child)) {
+                stack.push((child, 0));
+            }
+        } else {
+            core.close(tree.text(open_node));
+            stack.pop();
+        }
     }
-    core.close(tree.text(node));
 }
 
 #[cfg(test)]

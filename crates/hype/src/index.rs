@@ -67,6 +67,17 @@ impl ReachabilityIndex {
         let words_per_row = mfa_label_count.div_ceil(64).max(1);
         let descendants = dtd.graph().descendant_types();
 
+        // Soundness guard: if the document uses a label the DTD does not
+        // define (an edit script can splice in arbitrary subtrees), the
+        // document provably does not conform to the DTD, so *every*
+        // DTD-derived reachability claim is suspect — an `annex` element
+        // can sit below `hospital` even though no production puts it there,
+        // and pruning at the root on the DTD's say-so would wrongly answer
+        // `//annex` with ∅. Disable pruning wholesale.
+        if doc_labels.iter().any(|(_, name)| !descendants.contains_key(name)) {
+            return Self::no_prune(mfa_labels, doc_labels, compressed);
+        }
+
         let mut row_of_label: Vec<Option<u32>> = vec![None; doc_labels.len()];
         let mut rows: Vec<u64> = Vec::new();
         // For compression: map from row content to its index.
@@ -107,6 +118,34 @@ impl ReachabilityIndex {
             rows,
             compressed,
         }
+    }
+
+    /// An index that never prunes: every label maps to "no information".
+    ///
+    /// This is the sound fallback for documents that may not conform to the
+    /// DTD the index would be derived from — either because they use labels
+    /// the DTD does not define (detected by [`Self::from_labels`] itself),
+    /// or because an edit spliced a *known* label somewhere the DTD does not
+    /// produce it (detected by the service layer via
+    /// [`Dtd::edge_conformant`]). Evaluation through such an index is
+    /// bit-identical to plain HyPE.
+    pub fn no_prune(
+        mfa_labels: &LabelInterner,
+        doc_labels: &LabelInterner,
+        compressed: bool,
+    ) -> Self {
+        ReachabilityIndex {
+            words_per_row: mfa_labels.len().div_ceil(64).max(1),
+            row_of_label: vec![None; doc_labels.len()],
+            rows: Vec::new(),
+            compressed,
+        }
+    }
+
+    /// `true` if the index carries no pruning information for any label
+    /// (the [`Self::no_prune`] fallback, or an empty document).
+    pub fn prunes_nothing(&self) -> bool {
+        self.row_of_label.iter().all(Option::is_none)
     }
 
     /// The bitset (over MFA label ids) of labels that may occur strictly
@@ -172,14 +211,31 @@ mod tests {
     }
 
     #[test]
-    fn unknown_labels_have_no_row() {
+    fn any_unknown_label_disables_pruning_wholesale() {
+        // Regression (ROADMAP item 2): a document carrying a label the DTD
+        // does not define provably does not conform, so *no* DTD-derived
+        // row may be trusted — the alien element can sit below any node
+        // even though no production reaches it, and pruning at `hospital`
+        // would wrongly answer `//alien-element` with ∅.
         let dtd = hospital_document_dtd();
         let mut labels = doc_interner();
         let alien = labels.intern("alien-element");
         let q = parse_path("patient").unwrap();
         let mfa = compile_query(&q);
-        let index = ReachabilityIndex::new(&mfa, &dtd, &labels);
-        assert!(index.allowed_below(alien).is_none());
+        for compressed in [false, true] {
+            let index =
+                ReachabilityIndex::from_labels(mfa.labels(), &dtd, &labels, compressed);
+            assert!(index.allowed_below(alien).is_none());
+            assert!(
+                index.prunes_nothing(),
+                "known labels must also lose their rows (compressed={compressed})"
+            );
+            assert!(index.allowed_below(labels.get("hospital").unwrap()).is_none());
+            assert_eq!(index.stored_rows(), 0);
+        }
+        // A clean interner keeps full pruning.
+        let clean = ReachabilityIndex::new(&mfa, &dtd, &doc_interner());
+        assert!(!clean.prunes_nothing());
     }
 
     #[test]

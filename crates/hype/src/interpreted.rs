@@ -340,6 +340,18 @@ struct Local {
     my_vertices: Rc<Vec<(StateId, u32)>>,
 }
 
+/// One open node of the iterative traversal: the per-query state built on
+/// entry, the child values accumulated as children complete, and the slots
+/// of the parent frame this frame's outcomes are delivered to.
+struct VisitFrame {
+    node: NodeId,
+    locals: Vec<Local>,
+    child_values: Vec<Vec<(LabelId, AfaValues)>>,
+    children: Vec<NodeId>,
+    next_child: usize,
+    parent_slots: Vec<usize>,
+}
+
 struct BatchEngine<'a> {
     tree: &'a XmlTree,
     runtimes: Vec<QueryRuntime<'a>>,
@@ -347,7 +359,84 @@ struct BatchEngine<'a> {
 }
 
 impl BatchEngine<'_> {
+    /// The interpreted traversal, driven by an explicit frame stack:
+    /// document depth is adversarial input and must not overflow the call
+    /// stack. Enter/compute order is exactly that of the natural recursion
+    /// (node entered, children left to right, values computed bottom-up),
+    /// so every statistic is unchanged.
     fn visit(&mut self, node: NodeId, pending: Vec<Pending>) -> Vec<Outcome> {
+        let root_frame = self.enter(node, pending, Vec::new());
+        let mut stack: Vec<VisitFrame> = vec![root_frame];
+        loop {
+            let top = stack.last_mut().expect("non-empty until the root closes");
+            if top.next_child < top.children.len() {
+                let child = top.children[top.next_child];
+                top.next_child += 1;
+                let child_label = self.tree.label(child);
+                let mut child_pending: Vec<Pending> = Vec::new();
+                let mut slots: Vec<usize> = Vec::new();
+                for (slot, local) in top.locals.iter().enumerate() {
+                    let rt = &mut self.runtimes[local.query];
+                    let nfa = rt.mfa.nfa();
+                    let mut entry_c: Vec<StateId> = Vec::new();
+                    for &s in &local.mstates {
+                        for &(t, tgt) in &nfa.state(s).trans {
+                            if rt.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
+                                entry_c.push(tgt);
+                            }
+                        }
+                    }
+                    let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
+                    for &(afa, q) in &local.closure {
+                        if let AfaState::Trans(t, tgt) = rt.mfa.afa(afa).state(q) {
+                            if rt.label_map.matches(*t, child_label)
+                                && !requests_c.contains(&(afa, *tgt))
+                            {
+                                requests_c.push((afa, *tgt));
+                            }
+                        }
+                    }
+                    if entry_c.is_empty() && requests_c.is_empty() {
+                        continue;
+                    }
+                    if rt.can_skip_subtree(child_label, &entry_c, &requests_c) {
+                        continue;
+                    }
+                    child_pending.push(Pending {
+                        query: local.query,
+                        entry_states: entry_c,
+                        requests: requests_c,
+                        parent_vertices: Rc::clone(&local.my_vertices),
+                    });
+                    slots.push(slot);
+                }
+                if child_pending.is_empty() {
+                    continue;
+                }
+                let frame = self.enter(child, child_pending, slots);
+                stack.push(frame);
+            } else {
+                let frame = stack.pop().expect("just inspected");
+                let child_label = self.tree.label(frame.node);
+                let outcomes = self.close(frame.node, frame.locals, &frame.child_values);
+                match stack.last_mut() {
+                    None => return outcomes,
+                    Some(parent) => {
+                        for (slot, outcome) in
+                            frame.parent_slots.iter().copied().zip(outcomes)
+                        {
+                            debug_assert_eq!(parent.locals[slot].query, outcome.query);
+                            parent.child_values[slot].push((child_label, outcome.values));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The entry half of a node visit: materialize the per-query CANS
+    /// vertices, edges from the parent frame, and the AFA request closure.
+    fn enter(&mut self, node: NodeId, pending: Vec<Pending>, parent_slots: Vec<usize>) -> VisitFrame {
         self.physical_visits += 1;
         let node_label = self.tree.label(node);
 
@@ -408,56 +497,25 @@ impl BatchEngine<'_> {
         }
 
         let children: Vec<NodeId> = self.tree.children(node).to_vec();
-        let mut child_values: Vec<Vec<(LabelId, AfaValues)>> = vec![Vec::new(); locals.len()];
-        for child in children {
-            let child_label = self.tree.label(child);
-            let mut child_pending: Vec<Pending> = Vec::new();
-            let mut slots: Vec<usize> = Vec::new();
-            for (slot, local) in locals.iter().enumerate() {
-                let rt = &mut self.runtimes[local.query];
-                let nfa = rt.mfa.nfa();
-                let mut entry_c: Vec<StateId> = Vec::new();
-                for &s in &local.mstates {
-                    for &(t, tgt) in &nfa.state(s).trans {
-                        if rt.label_map.matches(t, child_label) && !entry_c.contains(&tgt) {
-                            entry_c.push(tgt);
-                        }
-                    }
-                }
-                let mut requests_c: Vec<(AfaId, AfaStateId)> = Vec::new();
-                for &(afa, q) in &local.closure {
-                    if let AfaState::Trans(t, tgt) = rt.mfa.afa(afa).state(q) {
-                        if rt.label_map.matches(*t, child_label)
-                            && !requests_c.contains(&(afa, *tgt))
-                        {
-                            requests_c.push((afa, *tgt));
-                        }
-                    }
-                }
-                if entry_c.is_empty() && requests_c.is_empty() {
-                    continue;
-                }
-                if rt.can_skip_subtree(child_label, &entry_c, &requests_c) {
-                    continue;
-                }
-                child_pending.push(Pending {
-                    query: local.query,
-                    entry_states: entry_c,
-                    requests: requests_c,
-                    parent_vertices: Rc::clone(&local.my_vertices),
-                });
-                slots.push(slot);
-            }
-            if child_pending.is_empty() {
-                continue;
-            }
-            let outcomes = self.visit(child, child_pending);
-            for (slot, outcome) in slots.into_iter().zip(outcomes) {
-                debug_assert_eq!(locals[slot].query, outcome.query);
-                child_values[slot].push((child_label, outcome.values));
-            }
+        let child_values: Vec<Vec<(LabelId, AfaValues)>> = vec![Vec::new(); locals.len()];
+        VisitFrame {
+            node,
+            locals,
+            child_values,
+            children,
+            next_child: 0,
+            parent_slots,
         }
+    }
 
+    /// The exit half of a node visit: bottom-up AFA value computation and
+    /// CANS vertex invalidation, once every child outcome is in.
+    fn close(
+        &mut self,
+        node: NodeId,
+        locals: Vec<Local>,
+        child_values: &[Vec<(LabelId, AfaValues)>],
+    ) -> Vec<Outcome> {
         let mut outcomes = Vec::with_capacity(locals.len());
         for (slot, local) in locals.into_iter().enumerate() {
             let rt = &mut self.runtimes[local.query];

@@ -143,7 +143,17 @@ impl CompiledQuery {
 
     /// Builds the OptHyPE(-C) index for documents of `document_dtd` that use
     /// `doc`'s label interner.
+    ///
+    /// DTD-derived pruning is only sound for documents whose parent→child
+    /// edges the DTD actually permits; an edit script can splice a label —
+    /// known or unknown — somewhere no production puts it, and pruning on
+    /// the DTD's say-so would then skip answers. For such documents this
+    /// returns the [`ReachabilityIndex::no_prune`] fallback, making the Opt
+    /// modes bit-identical to plain HyPE instead of wrong.
     pub fn build_index(&self, document_dtd: &Dtd, doc: &XmlTree, compressed: bool) -> ReachabilityIndex {
+        if !document_dtd.edge_conformant(doc) {
+            return ReachabilityIndex::no_prune(self.compiled.labels(), doc.labels(), compressed);
+        }
         ReachabilityIndex::for_compiled(&self.compiled, document_dtd, doc.labels(), compressed)
     }
 

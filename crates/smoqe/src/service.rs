@@ -36,9 +36,10 @@
 //! lock; two threads racing on the same cold key may both compute, and the
 //! last insert wins — sound because compilation is deterministic.
 
+use std::collections::HashSet;
 use std::io::Read;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use smoqe_hype::{
     BatchResult, CompiledBatchQuery, CorpusTask, HypeResult, ReachabilityIndex, StreamHype,
@@ -181,6 +182,13 @@ pub struct QueryService {
     text_keys: ShardedLru<String, String>,
     compiled: ShardedLru<QueryKey, Arc<CompiledQuery>>,
     indexes: ShardedLru<IndexKey, Arc<ReachabilityIndex>>,
+    /// Label fingerprints of document versions an edit made potentially
+    /// non-conformant ([`Dtd::edge_conformant`](smoqe_xml::Dtd::edge_conformant)
+    /// fails). DTD-derived pruning is unsound for such documents, and the
+    /// fingerprint keys the *interner layout*, not the structure — a
+    /// conforming sibling can share it — so every index under a tainted
+    /// fingerprint is built as [`ReachabilityIndex::no_prune`].
+    tainted: Mutex<HashSet<u64>>,
     compiled_hits: AtomicU64,
     compiled_misses: AtomicU64,
     index_hits: AtomicU64,
@@ -212,6 +220,7 @@ impl QueryService {
             text_keys: ShardedLru::new(4 * compiled_capacity, config.cache_segments),
             compiled: ShardedLru::new(compiled_capacity, config.cache_segments),
             indexes: ShardedLru::new(index_capacity, config.cache_segments),
+            tainted: Mutex::new(HashSet::new()),
             compiled_hits: AtomicU64::new(0),
             compiled_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
@@ -333,7 +342,22 @@ impl QueryService {
             return cached;
         }
         self.index_misses.fetch_add(1, Ordering::Relaxed);
-        let index = Arc::new(compiled.build_index(self.view().document_dtd(), doc, compressed));
+        // A tainted fingerprint means *some* resident version with this
+        // interner layout is non-conformant; a pruning index cached under
+        // the shared key would serve that version wrongly, so every build
+        // under the fingerprint degrades to no-prune. (`build_index` itself
+        // also degrades when `doc` is the non-conformant one — the taint
+        // covers the conforming sibling that would otherwise repopulate the
+        // shared entry with pruning rows.)
+        let index = if self.tainted.lock().expect("taint set lock").contains(&doc_labels) {
+            Arc::new(ReachabilityIndex::no_prune(
+                compiled.compiled().labels(),
+                doc.labels(),
+                compressed,
+            ))
+        } else {
+            Arc::new(compiled.build_index(self.view().document_dtd(), doc, compressed))
+        };
         self.indexes.insert(key, Arc::clone(&index));
         index
     }
@@ -663,6 +687,18 @@ impl QueryService {
     /// edit can at worst rebuild an entry for the retired fingerprint from
     /// a handle it already resolved — a correct (if wasted) index, never a
     /// wrong one.
+    ///
+    /// Beyond cache-key staleness, an edit can stale the *content* of an
+    /// index whose key still matches: splicing a label — known or unknown
+    /// to the DTD — somewhere no production puts it leaves the document
+    /// non-edge-conformant, and the DTD-derived rows would prune subtrees
+    /// that now do contain matches (e.g. `//annex` right after inserting an
+    /// `<annex>` element would answer ∅). When the new version fails
+    /// [`Dtd::edge_conformant`](smoqe_xml::Dtd::edge_conformant), its
+    /// fingerprint is **tainted**: entries cached under it are swept, and
+    /// every future build under it degrades to the no-prune index — answers
+    /// stay bit-identical to plain HyPE until the non-conformant versions
+    /// retire (taint clears when the fingerprint leaves the store).
     pub fn apply_edit(
         &self,
         store: &DocumentStore,
@@ -672,6 +708,23 @@ impl QueryService {
         let receipt = store.apply_edit(id, ops)?;
         if receipt.old_fingerprint != receipt.new_fingerprint {
             self.invalidate_stale_indexes(store, receipt.old_fingerprint);
+        }
+        if let Some(new_doc) = store.get(receipt.new_id) {
+            if !self.view().document_dtd().edge_conformant(new_doc.tree())
+                && self
+                    .tainted
+                    .lock()
+                    .expect("taint set lock")
+                    .insert(receipt.new_fingerprint)
+            {
+                // Taint is set *before* the sweep: any insert racing past
+                // the sweep already sees the taint and stores no-prune.
+                let removed = self
+                    .indexes
+                    .invalidate_where(|key, _| key.doc_labels == receipt.new_fingerprint);
+                self.index_invalidations
+                    .fetch_add(removed as u64, Ordering::Relaxed);
+            }
         }
         Ok(receipt)
     }
@@ -705,6 +758,10 @@ impl QueryService {
         if store.fingerprint_in_use(fingerprint) {
             return 0;
         }
+        // No resident document keys this fingerprint any more: a future
+        // document that happens to share the layout starts with a clean
+        // (pruning-capable) slate.
+        self.tainted.lock().expect("taint set lock").remove(&fingerprint);
         let removed = self
             .indexes
             .invalidate_where(|key, _| key.doc_labels == fingerprint);
@@ -1249,6 +1306,177 @@ mod tests {
             service.apply_edit(&store, a, &[]),
             Err(StoreError::UnknownDocument(_))
         ));
+    }
+
+    /// A view over the hospital document DTD whose single annotation uses a
+    /// descendant axis, so content spliced *anywhere* in the document is
+    /// visible through the view — the probe for index-staleness hazards.
+    fn all_diagnoses_view() -> ViewDefinition {
+        use smoqe_xml::{Child, ContentModel, Dtd};
+        let mut view_dtd = Dtd::new("hospital");
+        view_dtd.define(
+            "hospital",
+            ContentModel::Sequence(vec![Child::star("diagnosis")]),
+        );
+        view_dtd.define("diagnosis", ContentModel::Text);
+        let mut view = ViewDefinition::new(
+            smoqe_xml::hospital::hospital_document_dtd(),
+            view_dtd,
+        );
+        view.annotate_str("hospital", "diagnosis", "//diagnosis").unwrap();
+        view.check().unwrap();
+        view
+    }
+
+    /// Regression (ROADMAP item 2): an edit that splices a **known** label
+    /// where the DTD does not produce it keeps the label fingerprint — and
+    /// thus the index cache key — unchanged, so the cached DTD-derived
+    /// index would keep pruning the subtree that now holds a match.
+    /// Querying through the new label immediately after the edit must see
+    /// it under every Opt mode.
+    #[test]
+    fn apply_edit_taints_indexes_for_misplaced_known_labels() {
+        let service = QueryService::new(all_diagnoses_view()).unwrap();
+        let store = DocumentStore::new();
+        let a = store.insert_tree(doc(1));
+
+        // Warm the cache with a pruning index for the pristine version.
+        let before = service
+            .evaluate("diagnosis", store.get(a).unwrap().tree(), EvaluationMode::OptHyPE)
+            .unwrap();
+        assert!(!before.answers.is_empty());
+        assert_eq!(service.stats().index_misses, 1);
+
+        // Splice a diagnosis under an <address> — a place the DTD's
+        // productions never put one, inside a subtree the index prunes.
+        let tree = store.get(a).unwrap().tree().clone();
+        let address = tree
+            .node_ids()
+            .find(|&n| tree.label_name(n) == "address")
+            .unwrap();
+        let receipt = service
+            .apply_edit(
+                &store,
+                a,
+                &[EditOp::Insert {
+                    parent: address,
+                    position: 0,
+                    subtree: smoqe_xml::parse_document("<diagnosis>spliced</diagnosis>")
+                        .unwrap(),
+                }],
+            )
+            .unwrap();
+        assert_eq!(
+            receipt.old_fingerprint, receipt.new_fingerprint,
+            "the label already existed: the cache key does not change"
+        );
+        assert_eq!(
+            service.stats().index_invalidations,
+            1,
+            "the taint sweep dropped the cached pruning index"
+        );
+
+        // The view exposes every diagnosis; all modes must agree with the
+        // spec-level oracle, which sees the spliced node.
+        let edited = store.get(receipt.new_id).unwrap();
+        let new_tree = edited.tree();
+        let oracle = smoqe_xpath::evaluate(
+            new_tree,
+            new_tree.root(),
+            &parse_path("//diagnosis").unwrap(),
+        );
+        assert!(oracle.len() > before.answers.len(), "the splice is visible");
+        for mode in [
+            EvaluationMode::HyPE,
+            EvaluationMode::OptHyPE,
+            EvaluationMode::OptHyPEC,
+        ] {
+            let got = service.evaluate("diagnosis", new_tree, mode).unwrap();
+            assert_eq!(got.answers, oracle, "stale pruning under {mode:?}");
+        }
+
+        // The conforming sibling still resident under the same fingerprint
+        // keeps answering correctly (through no-prune indexes).
+        let b = store.insert_tree(doc(1));
+        let sibling = service
+            .evaluate("diagnosis", store.get(b).unwrap().tree(), EvaluationMode::OptHyPE)
+            .unwrap();
+        assert_eq!(sibling.answers, before.answers);
+    }
+
+    /// Regression (ROADMAP item 2): an edit that introduces a label the DTD
+    /// does not define at all. The fingerprint changes (so the old cache
+    /// entries are swept by the existing precise invalidation), but the
+    /// *freshly built* index must also refuse to prune — with the unknown
+    /// label in the interner the document provably does not conform, so a
+    /// known-label match spliced next to it would be skipped by DTD rows.
+    ///
+    /// Note the annotation's `//` ranges over *document-DTD* labels (both
+    /// `materialize` and the rewrite use [`ViewDefinition::normalized_annotation`]),
+    /// so content *inside* the unknown element is outside the view by
+    /// definition; the hazard under test is pruning of the known-label
+    /// sibling. HyPE (never prunes) is the oracle the Opt modes must match.
+    #[test]
+    fn querying_through_a_dtd_unknown_label_right_after_the_edit() {
+        let service = QueryService::new(all_diagnoses_view()).unwrap();
+        let store = DocumentStore::new();
+        let a = store.insert_tree(doc(2));
+        let before = service
+            .evaluate("diagnosis", store.get(a).unwrap().tree(), EvaluationMode::OptHyPEC)
+            .unwrap();
+
+        let tree = store.get(a).unwrap().tree().clone();
+        let address = tree
+            .node_ids()
+            .find(|&n| tree.label_name(n) == "address")
+            .unwrap();
+        // Two splices under the same (pruned) <address>: an element type the
+        // DTD has never heard of, and a reachable known-label diagnosis.
+        let receipt = service
+            .apply_edit(
+                &store,
+                a,
+                &[
+                    EditOp::Insert {
+                        parent: address,
+                        position: 0,
+                        subtree: smoqe_xml::parse_document("<annex>noise</annex>").unwrap(),
+                    },
+                    EditOp::Insert {
+                        parent: address,
+                        position: 0,
+                        subtree: smoqe_xml::parse_document("<diagnosis>smuggled</diagnosis>")
+                            .unwrap(),
+                    },
+                ],
+            )
+            .unwrap();
+        assert_ne!(
+            receipt.old_fingerprint, receipt.new_fingerprint,
+            "`annex` is a brand-new label"
+        );
+
+        let edited = store.get(receipt.new_id).unwrap();
+        let new_tree = edited.tree();
+        let engine = SmoqeEngine::new(all_diagnoses_view()).unwrap();
+        let oracle = service
+            .evaluate("diagnosis", new_tree, EvaluationMode::HyPE)
+            .unwrap();
+        assert_eq!(
+            oracle.answers.len(),
+            before.answers.len() + 1,
+            "the spliced known-label diagnosis is in the view"
+        );
+        for mode in [EvaluationMode::OptHyPE, EvaluationMode::OptHyPEC] {
+            let got = service.evaluate("diagnosis", new_tree, mode).unwrap();
+            assert_eq!(
+                got.answers, oracle.answers,
+                "lost the smuggled diagnosis under {mode:?}"
+            );
+            // The engine path (fresh index per call) must agree too.
+            let by_engine = engine.answer_with_stats("diagnosis", new_tree, mode).unwrap();
+            assert_eq!(by_engine.answers, oracle.answers);
+        }
     }
 
     #[test]

@@ -103,6 +103,46 @@ pub fn generate_skewed_hospital(config: &HospitalConfig, dominant_fraction: f64)
     })
 }
 
+/// Generates a pathological-depth hospital document: one department with a
+/// single patient whose `parent/patient` ancestor chain is `depth` levels
+/// deep. Built **iteratively**, so the generator itself never overflows —
+/// this is the adversarial input for the stack-safety of parsers,
+/// serializers and tree-walking engines. Every patient on the chain has one
+/// heart-disease visit, so the σ₀ view is exactly as deep as the document.
+pub fn generate_deep_hospital(depth: usize, seed: u64) -> XmlTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = XmlTreeBuilder::new();
+    let root = b.root("hospital");
+    let dept = b.child(root, "department");
+    b.child_with_text(dept, "name", "Deep");
+    let mut wrapper = dept;
+    for level in 0..=depth {
+        let p = b.child(wrapper, "patient");
+        b.child_with_text(p, "pname", &format!("Patient-{level}"));
+        let addr = b.child(p, "address");
+        b.child_with_text(addr, "street", STREETS[level % STREETS.len()]);
+        b.child_with_text(addr, "city", CITIES[level % CITIES.len()]);
+        b.child_with_text(addr, "zip", &format!("EH{}", level % 17 + 1));
+        let visit = b.child(p, "visit");
+        b.child_with_text(visit, "date", &format!("{}-01-15", 1950 + level % 77));
+        let treatment = b.child(visit, "treatment");
+        let medication = b.child(treatment, "medication");
+        b.child_with_text(medication, "type", "tablet");
+        // An occasional other diagnosis keeps the view chain from being
+        // fully regular without bounding its depth.
+        let diagnosis = if rng.gen_bool(0.95) {
+            HEART_DISEASE
+        } else {
+            OTHER_DIAGNOSES[level % OTHER_DIAGNOSES.len()]
+        };
+        b.child_with_text(medication, "diagnosis", diagnosis);
+        if level < depth {
+            wrapper = b.child(p, "parent");
+        }
+    }
+    b.finish()
+}
+
 /// Shared generator body: `assign(patient_index, departments)` names the
 /// department each patient lands in; everything else is policy-free.
 fn generate_with(

@@ -19,8 +19,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bom_gen;
+pub mod domains;
 pub mod dtd_random;
 pub mod hospital_gen;
+pub mod logs_gen;
+pub mod social_gen;
 
+pub use bom_gen::{generate_bom, generate_deep_bom, BomConfig};
+pub use domains::{all_domains, domain, DocShape, Domain};
 pub use dtd_random::{generate_from_dtd, DtdGenConfig};
-pub use hospital_gen::{generate_hospital, generate_skewed_hospital, HospitalConfig};
+pub use hospital_gen::{
+    generate_deep_hospital, generate_hospital, generate_skewed_hospital, HospitalConfig,
+};
+pub use logs_gen::{generate_alias_explosion, generate_logs, LogsConfig};
+pub use social_gen::{generate_deep_social, generate_social, SocialConfig};

@@ -192,6 +192,47 @@ impl Dtd {
         Ok(())
     }
 
+    /// Whether every parent→child label pair in `tree` is permitted by the
+    /// DTD's productions, and every label the tree uses is a defined element
+    /// type.
+    ///
+    /// This is strictly weaker than [`Dtd::validate`] — it ignores child
+    /// order, multiplicity and PCDATA placement — but it is *exactly* the
+    /// soundness condition of DTD-derived reachability pruning
+    /// (OptHyPE(-C)): skipping the subtree under an `A` element on the
+    /// grounds that the DTD says no interesting type occurs below `A` is
+    /// valid iff the subtree only uses edges the DTD allows. Documents
+    /// mutated by edit scripts can violate this (a label inserted where the
+    /// DTD does not produce it), in which case pruning must be disabled.
+    pub fn edge_conformant(&self, tree: &XmlTree) -> bool {
+        let labels = tree.labels();
+        // Per document label id: the set of child label ids its production
+        // permits, or `None` when the label is not a DTD element type.
+        let allowed: Vec<Option<BTreeSet<crate::LabelId>>> = labels
+            .iter()
+            .map(|(_, name)| {
+                self.production(name).map(|model| {
+                    model
+                        .child_types()
+                        .into_iter()
+                        .filter_map(|ty| labels.get(ty))
+                        .collect()
+                })
+            })
+            .collect();
+        if allowed.iter().any(Option::is_none) {
+            return false; // a label the DTD does not define occurs
+        }
+        tree.node_ids().all(|node| {
+            let ok = allowed[tree.label(node).index()]
+                .as_ref()
+                .expect("checked above");
+            tree.children(node)
+                .iter()
+                .all(|&child| ok.contains(&tree.label(child)))
+        })
+    }
+
     /// Validates a document tree against this DTD.
     ///
     /// Checks that the root label matches `r`, that every element's children

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod domains;
 pub mod dtd;
 pub mod dtd_parse;
 pub mod edit;

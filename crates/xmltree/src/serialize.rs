@@ -21,6 +21,10 @@ pub fn to_xml_string_pretty(tree: &XmlTree) -> String {
     out
 }
 
+/// Iterative serializer: pathological document depth must not overflow the
+/// stack (deep chains are a first-class fuzz shape), so the traversal keeps
+/// an explicit frame stack of `(node, next-child index)` instead of
+/// recursing.
 fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize>, depth: usize) {
     let pad = |out: &mut String, depth: usize| {
         if let Some(step) = indent {
@@ -30,31 +34,51 @@ fn write_node(tree: &XmlTree, id: NodeId, out: &mut String, indent: Option<usize
             out.extend(std::iter::repeat_n(' ', step * depth));
         }
     };
-    pad(out, depth);
-    let name = tree.label_name(id);
-    let children = tree.children(id);
-    let text = tree.text(id);
-    if children.is_empty() && text.is_none() {
+    let open = |out: &mut String, id: NodeId, depth: usize| -> bool {
+        pad(out, depth);
+        let name = tree.label_name(id);
+        let children = tree.children(id);
+        let text = tree.text(id);
+        if children.is_empty() && text.is_none() {
+            out.push('<');
+            out.push_str(name);
+            out.push_str("/>");
+            return false;
+        }
         out.push('<');
         out.push_str(name);
-        out.push_str("/>");
+        out.push('>');
+        if let Some(t) = text {
+            out.push_str(&escape(t));
+        }
+        true
+    };
+    let close = |out: &mut String, id: NodeId, depth: usize| {
+        if indent.is_some() && !tree.children(id).is_empty() {
+            pad(out, depth);
+        }
+        out.push_str("</");
+        out.push_str(tree.label_name(id));
+        out.push('>');
+    };
+
+    if !open(out, id, depth) {
         return;
     }
-    out.push('<');
-    out.push_str(name);
-    out.push('>');
-    if let Some(t) = text {
-        out.push_str(&escape(t));
+    let mut stack: Vec<(NodeId, usize)> = vec![(id, 0)];
+    while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        let children = tree.children(node);
+        if *next < children.len() {
+            let child = children[*next];
+            *next += 1;
+            if open(out, child, depth + stack.len()) {
+                stack.push((child, 0));
+            }
+        } else {
+            close(out, node, depth + stack.len() - 1);
+            stack.pop();
+        }
     }
-    for &c in children {
-        write_node(tree, c, out, indent, depth + 1);
-    }
-    if indent.is_some() && !children.is_empty() {
-        pad(out, depth);
-    }
-    out.push_str("</");
-    out.push_str(name);
-    out.push('>');
 }
 
 /// Escapes the characters that must be escaped in XML character data.

@@ -52,7 +52,11 @@ impl std::error::Error for ParseQueryError {}
 /// ```
 pub fn parse_path(input: &str) -> Result<Path, ParseQueryError> {
     let tokens = lex(input)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let path = parser.path()?;
     if parser.pos != parser.tokens.len() {
         return Err(parser.error("unexpected trailing input"));
@@ -224,9 +228,17 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseQueryError> {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Upper bound on grammar recursion depth. The parser is recursive-descent,
+/// so without a budget a query like `((((((…a…))))))` with tens of thousands
+/// of parens overflows the thread stack; queries are adversarial input in the
+/// fuzz campaign, so nesting past this bound is a parse error, not a crash.
+const MAX_QUERY_DEPTH: usize = 256;
+
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Current grammar recursion depth (see [`MAX_QUERY_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -275,8 +287,27 @@ impl Parser {
         }
     }
 
+    /// Bumps the recursion depth, erroring out past [`MAX_QUERY_DEPTH`].
+    /// Callers pair it with a decrement after the guarded body returns, on
+    /// success *and* on error, so the counter stays balanced across the
+    /// backtracking in [`Parser::unary_pred`].
+    fn enter(&mut self) -> Result<(), ParseQueryError> {
+        self.depth += 1;
+        if self.depth > MAX_QUERY_DEPTH {
+            return Err(self.error("query nesting too deep"));
+        }
+        Ok(())
+    }
+
     // path := seq ('|' seq)*
     fn path(&mut self) -> Result<Path, ParseQueryError> {
+        self.enter()?;
+        let result = self.path_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn path_inner(&mut self) -> Result<Path, ParseQueryError> {
         let mut left = self.seq()?;
         while self.eat(&Tok::Pipe) {
             let right = self.seq()?;
@@ -387,6 +418,13 @@ impl Parser {
     }
 
     fn unary_pred(&mut self) -> Result<Pred, ParseQueryError> {
+        self.enter()?;
+        let result = self.unary_pred_inner();
+        self.depth -= 1;
+        result
+    }
+
+    fn unary_pred_inner(&mut self) -> Result<Pred, ParseQueryError> {
         match self.peek() {
             Some(Tok::Not) => {
                 self.pos += 1;
@@ -786,5 +824,54 @@ mod tests {
             );
             assert!(!err.message.is_empty());
         }
+    }
+
+    #[test]
+    fn moderately_nested_queries_parse() {
+        // Well within the budget: nesting depth 100 in groups, filters and
+        // `not` chains all parse and round-trip.
+        let grouped = format!("{}patient{}", "(".repeat(100), ")".repeat(100));
+        let parsed = parse_path(&grouped).unwrap();
+        assert_eq!(parsed, Path::Label("patient".into()));
+
+        let nots = format!("patient[{}record{}]", "not(".repeat(100), ")".repeat(100));
+        parse_path(&nots).unwrap();
+
+        let mut filters = String::from("record");
+        for _ in 0..100 {
+            filters = format!("patient[{filters}]");
+        }
+        parse_path(&filters).unwrap();
+    }
+
+    #[test]
+    fn pathologically_nested_queries_are_rejected_not_crashed() {
+        // Past the budget the parser must return an error instead of
+        // overflowing the stack. 100_000 parens would overflow a 2 MiB
+        // thread stack without the depth budget.
+        for depth in [300usize, 100_000] {
+            let grouped = format!("{}patient{}", "(".repeat(depth), ")".repeat(depth));
+            let err = parse_path(&grouped).unwrap_err();
+            assert!(
+                err.message.contains("nesting too deep"),
+                "depth {depth}: unexpected error `{}`",
+                err.message
+            );
+
+            let nots = format!("patient[{}record{}]", "not(".repeat(depth), ")".repeat(depth));
+            let err = parse_path(&nots).unwrap_err();
+            assert!(err.message.contains("nesting too deep"), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn depth_budget_survives_backtracking() {
+        // `unary_pred` speculatively parses a predicate and backtracks to a
+        // path reading; the depth counter must stay balanced so a long
+        // *sequence* of such groups (no nesting) still parses.
+        let q = format!("patient[{}]", vec!["(record)"; 300].join(" and "));
+        parse_path(&q).unwrap();
+        let seq = vec!["(patient)"; 300].join("/");
+        parse_path(&seq).unwrap();
     }
 }

@@ -1,8 +1,14 @@
 //! Shared fixtures and helpers for the cross-crate integration tests.
 
-use std::collections::BTreeSet;
+pub mod fuzz;
 
-use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use smoqe::SmoqeEngine;
+use smoqe_automata::{compile_query, CompiledMfa, Mfa};
+use smoqe_toxgene::domains::{HOSPITAL_DOCUMENT_QUERIES, HOSPITAL_VIEW_QUERIES};
+use smoqe_toxgene::{generate_hospital, Domain, HospitalConfig};
 use smoqe_views::{materialize, ViewDefinition};
 use smoqe_xml::{NodeId, XmlTree};
 use smoqe_xpath::{evaluate, parse_path};
@@ -26,53 +32,53 @@ pub fn standard_hospital_document() -> XmlTree {
 /// XPath-fragment and proper regular XPath queries, with filters, negation,
 /// unions and recursion.
 ///
+/// The canonical copy lives in the domain registry
+/// (`smoqe_toxgene::domains::HOSPITAL_VIEW_QUERIES`); this function keeps
+/// the historical `Vec` signature the suites use.
+///
 /// NOTE: `smoqe_xpath::parser`'s unit tests pin a mirror of this list
 /// (`whole_view_query_corpus_parses_and_round_trips`) — the dependency goes
 /// the other way, so the list cannot be shared. When editing the corpus,
 /// update the mirror too; `view_query_corpus_matches_parser_unit_mirror`
 /// below fails loudly on drift.
 pub fn view_query_corpus() -> Vec<&'static str> {
-    vec![
-        "patient",
-        "patient/record",
-        "patient/record/diagnosis",
-        "patient/parent/patient",
-        "patient/parent/patient/record/diagnosis",
-        "(patient/parent)*/patient",
-        "(patient/parent)*/patient[record]",
-        "patient[*//record/diagnosis/text()='heart disease']",
-        "patient[record/diagnosis/text()='heart disease' and parent]",
-        "patient[not(parent)]",
-        "patient[not(record/diagnosis/text()='heart disease')]",
-        "patient/record/empty",
-        "patient/(record | parent/patient/record)",
-        "//diagnosis",
-        "//record[diagnosis]",
-        "patient//patient[record/empty]",
-        "(patient/parent)*/patient[(parent/patient)*/record/diagnosis[text()='heart disease']]",
-        "patient[parent/patient[not(record)]/parent/patient[record]]",
-        "doctor",
-        "patient/pname",
-    ]
+    HOSPITAL_VIEW_QUERIES.to_vec()
 }
 
 /// Queries posed directly on the hospital *document* (no view), used for
-/// testing the evaluators and the benchmark harness.
+/// testing the evaluators and the benchmark harness. Canonical copy:
+/// `smoqe_toxgene::domains::HOSPITAL_DOCUMENT_QUERIES`.
 pub fn document_query_corpus() -> Vec<&'static str> {
-    vec![
-        "department/patient",
-        "department/patient/pname",
-        "department/patient[visit/treatment/medication/diagnosis/text()='heart disease']",
-        "department/patient[visit/treatment/test]/pname",
-        "department/patient[visit/treatment/medication/diagnosis/text()='heart disease' \
-         and not(visit/treatment/test)]",
-        "//diagnosis",
-        "//zip",
-        "department/doctor[specialty/text()='cardiology']/dname",
-        "department/patient/(parent/patient)*/visit/treatment/medication/diagnosis",
-        "(department/patient/parent/patient)*",
-        "department/patient[(parent/patient)*/visit/treatment/medication/diagnosis/text()='heart disease']",
-    ]
+    HOSPITAL_DOCUMENT_QUERIES.to_vec()
+}
+
+/// Both corpora of `domain` compiled to MFAs over the domain's *document*:
+/// document queries compile directly, view queries go through the σ₀
+/// rewriting against the domain's view. Each entry is tagged
+/// `<domain>/doc:<q>` or `<domain>/view:<q>` for assertion messages.
+pub fn domain_corpus_mfas(domain: &Domain) -> Vec<(String, Mfa)> {
+    let engine = SmoqeEngine::new(domain.view.clone()).expect("registered views check");
+    let mut out = Vec::new();
+    for &query in domain.document_queries {
+        let mfa = compile_query(&parse_path(query).expect("registry queries parse"));
+        out.push((format!("{}/doc:{query}", domain.name), mfa));
+    }
+    for &query in domain.view_queries {
+        let compiled = engine
+            .compile(query)
+            .unwrap_or_else(|e| panic!("{}: `{query}` fails to rewrite: {e}", domain.name));
+        out.push((format!("{}/view:{query}", domain.name), compiled.mfa().clone()));
+    }
+    out
+}
+
+/// [`domain_corpus_mfas`] lowered to the shareable execution IR, for the
+/// parallel and incremental suites.
+pub fn domain_corpus_irs(domain: &Domain) -> Vec<(String, Arc<CompiledMfa>)> {
+    domain_corpus_mfas(domain)
+        .into_iter()
+        .map(|(name, mfa)| (name, Arc::new(CompiledMfa::new(&mfa))))
+        .collect()
 }
 
 /// The materialize-then-evaluate oracle: the answer of `query` on the view
@@ -102,8 +108,8 @@ mod tests {
         assert_eq!(
             checksum, 0xc101_ed93_94fa_c9f5,
             "corpus changed (checksum {checksum:#x}): update the mirror in \
-             crates/xpath/src/parser.rs (whole_view_query_corpus_parses_and_round_trips) \
-             and this checksum"
+             crates/xpath/src/parser.rs (whole_view_query_corpus_parses_and_round_trips), \
+             the canonical copy in crates/toxgene/src/domains.rs, and this checksum"
         );
     }
 }

@@ -5,13 +5,16 @@
 //! batched, and streaming, with and without OptHyPE(-C) indexes — plus a
 //! property test over randomly generated toxgene documents.
 
-use integration_tests::{document_query_corpus, standard_hospital_document, view_query_corpus};
+use integration_tests::{
+    document_query_corpus, domain_corpus_mfas, standard_hospital_document, view_query_corpus,
+};
 use proptest::prelude::*;
 use smoqe::SmoqeEngine;
 use smoqe_automata::{compile_query, Mfa};
 use smoqe_hype::{evaluate, evaluate_batch, evaluate_stream_batch, evaluate_with_index};
 use smoqe_hype::{interpreted, BatchQuery, ReachabilityIndex};
-use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_toxgene::domains::STANDARD_SEED;
+use smoqe_toxgene::{all_domains, generate_hospital, HospitalConfig};
 use smoqe_xml::hospital::hospital_document_dtd;
 use smoqe_xml::stream::TreeEvents;
 use smoqe_xml::XmlTree;
@@ -156,6 +159,65 @@ fn streamed_compiled_matches_interpreted_solo_and_batched() {
             compiled.results[i].stats, reference.results[i].stats,
             "batched streamed stats differ on `{name}`"
         );
+    }
+}
+
+#[test]
+fn every_domain_and_shape_compiled_matches_interpreted() {
+    // The registry sweep: the same differential contract the hospital pair
+    // is pinned to above, across every registered domain and every
+    // adversarial document shape it supports — solo, with and without
+    // OptHyPE(-C) indexes, and as one whole-corpus batch per document.
+    for domain in all_domains() {
+        let mfas = domain_corpus_mfas(&domain);
+        let dtd = domain.document_dtd().clone();
+        for &shape in domain.shapes {
+            let doc = domain.generate(shape, 1, STANDARD_SEED);
+            for (name, mfa) in &mfas {
+                let reference = interpreted::evaluate(&doc, mfa);
+                let compiled = evaluate(&doc, mfa);
+                assert_eq!(
+                    compiled.answers, reference.answers,
+                    "answers differ on `{name}` ({shape:?})"
+                );
+                assert_eq!(compiled.stats, reference.stats, "stats differ on `{name}` ({shape:?})");
+
+                for compressed in [false, true] {
+                    let index =
+                        ReachabilityIndex::from_labels(mfa.labels(), &dtd, doc.labels(), compressed);
+                    let reference =
+                        interpreted::evaluate_at_with(&doc, doc.root(), mfa, Some(&index));
+                    let compiled = evaluate_with_index(&doc, mfa, &index);
+                    assert_eq!(
+                        compiled.answers, reference.answers,
+                        "indexed answers differ on `{name}` ({shape:?}, compressed={compressed})"
+                    );
+                    assert_eq!(
+                        compiled.stats, reference.stats,
+                        "indexed stats differ on `{name}` ({shape:?}, compressed={compressed})"
+                    );
+                }
+            }
+
+            let queries: Vec<BatchQuery> = mfas.iter().map(|(_, m)| BatchQuery::new(m)).collect();
+            let reference = interpreted::evaluate_batch(&doc, &queries);
+            let compiled = evaluate_batch(&doc, &queries);
+            assert_eq!(
+                compiled.stats, reference.stats,
+                "{}/{shape:?}: aggregate batch stats differ",
+                domain.name
+            );
+            for (i, (name, _)) in mfas.iter().enumerate() {
+                assert_eq!(
+                    compiled.results[i].answers, reference.results[i].answers,
+                    "batched answers differ on `{name}` ({shape:?})"
+                );
+                assert_eq!(
+                    compiled.results[i].stats, reference.results[i].stats,
+                    "batched stats differ on `{name}` ({shape:?})"
+                );
+            }
+        }
     }
 }
 

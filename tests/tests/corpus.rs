@@ -11,12 +11,15 @@
 
 use std::sync::Arc;
 
-use integration_tests::{document_query_corpus, standard_hospital_document};
+use integration_tests::{
+    document_query_corpus, domain_corpus_irs, oracle_answer, standard_hospital_document,
+};
 
 use smoqe::{DocumentStore, EvaluationMode, QueryService, ServiceConfig, SmoqeEngine};
 use smoqe_automata::compile_query;
 use smoqe_hype::{evaluate_corpus, evaluate_corpus_parallel, CompiledMfa, CorpusTask, ReachabilityIndex};
-use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_toxgene::domains::STANDARD_SEED;
+use smoqe_toxgene::{all_domains, generate_hospital, DocShape, HospitalConfig};
 use smoqe_xml::hospital::hospital_document_dtd;
 use smoqe_xml::{snapshot, XmlTree};
 use smoqe_xpath::parse_path;
@@ -142,6 +145,56 @@ fn service_corpus_parallel_is_bit_identical_in_every_mode() {
                 parallel, sequential,
                 "service corpus at {threads} threads ({mode:?})"
             );
+        }
+    }
+}
+
+#[test]
+fn corpus_parallel_is_bit_identical_across_all_domains() {
+    // Registry sweep: per domain, a small multi-seed document corpus ×
+    // the domain's full (document + rewritten view) query corpus, parallel
+    // against sequential at every budget.
+    for domain in all_domains() {
+        let docs: Vec<XmlTree> = (0..3)
+            .map(|s| domain.generate(DocShape::Standard, 1, STANDARD_SEED + s))
+            .collect();
+        let irs = domain_corpus_irs(&domain);
+        let tasks: Vec<CorpusTask> = docs
+            .iter()
+            .flat_map(|doc| irs.iter().map(move |(_, c)| CorpusTask::new(doc, Arc::clone(c))))
+            .collect();
+        let sequential = evaluate_corpus(&tasks);
+        assert_eq!(sequential.len(), docs.len() * irs.len());
+        for threads in THREAD_BUDGETS {
+            let parallel = evaluate_corpus_parallel(&tasks, threads);
+            assert_eq!(
+                parallel, sequential,
+                "{}: corpus at {threads} threads",
+                domain.name
+            );
+        }
+    }
+}
+
+#[test]
+fn rewritten_answers_match_the_materialize_oracle_in_every_domain() {
+    // The spec-level contract behind all of the engine differentials:
+    // for every domain, every supported shape and every view query,
+    // rewrite-then-evaluate over the document equals materialize-then-
+    // evaluate on the view (mapped back through origin nodes).
+    for domain in all_domains() {
+        let engine = SmoqeEngine::new(domain.view.clone()).expect("registered views check");
+        for &shape in domain.shapes {
+            let doc = domain.generate(shape, 1, STANDARD_SEED);
+            for &query in domain.view_queries {
+                let want = oracle_answer(&domain.view, &doc, query);
+                let got = engine.answer(query, &doc).unwrap();
+                assert_eq!(
+                    got, want,
+                    "{}/{shape:?}: rewriting diverges from the view oracle on `{query}`",
+                    domain.name
+                );
+            }
         }
     }
 }

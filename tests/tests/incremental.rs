@@ -14,13 +14,17 @@
 
 use std::sync::Arc;
 
+use integration_tests::domain_corpus_irs;
 use proptest::prelude::*;
 use smoqe_automata::{compile_query, CompiledMfa};
 use smoqe_hype::{
     evaluate_batch_parallel_at, BatchResult, CompiledBatchQuery, IncrementalEvaluator,
     IncrementalQuery,
 };
-use smoqe_toxgene::{generate_from_dtd, generate_hospital, DtdGenConfig, HospitalConfig};
+use smoqe_toxgene::domains::STANDARD_SEED;
+use smoqe_toxgene::{
+    all_domains, generate_from_dtd, generate_hospital, DocShape, DtdGenConfig, HospitalConfig,
+};
 use smoqe_xml::hospital::hospital_document_dtd;
 use smoqe_xml::{labels_fingerprint, parse_document, EditOp, NodeId, XmlTree};
 use smoqe_xpath::parse_path;
@@ -111,10 +115,34 @@ impl Rng {
     }
 }
 
+/// The hospital-vocabulary payload set, parsed once.
+fn hospital_payloads() -> Vec<XmlTree> {
+    PAYLOADS.iter().map(|p| parse_document(p).unwrap()).collect()
+}
+
+/// Edit payloads spelled in `dtd`'s own element vocabulary — single
+/// elements and two-level nests, destined for arbitrary (usually
+/// DTD-violating) positions — plus one label no registered DTD defines,
+/// exercising interner growth mid-script in every domain.
+fn domain_payloads(dtd: &smoqe_xml::Dtd) -> Vec<XmlTree> {
+    let names = dtd.element_types();
+    let mut out = Vec::new();
+    for pair in names.chunks(2) {
+        let payload = match *pair {
+            [a, b] => format!("<{a}><{b}>fuzz</{b}></{a}>"),
+            [a] => format!("<{a}>fuzz</{a}>"),
+            _ => unreachable!("chunks(2) yields 1- or 2-element windows"),
+        };
+        out.push(parse_document(&payload).unwrap());
+    }
+    out.push(parse_document("<annex-from-nowhere>alien label</annex-from-nowhere>").unwrap());
+    out
+}
+
 /// Generates one valid [`EditOp`] against the current tree state. The
 /// evaluation context is always the root here, so any live non-root node is
 /// fair game for delete/replace and any live node can parent an insert.
-fn random_op(rng: &mut Rng, tree: &XmlTree) -> EditOp {
+fn random_op(rng: &mut Rng, tree: &XmlTree, payloads: &[XmlTree]) -> EditOp {
     let live: Vec<NodeId> = tree.node_ids().filter(|&n| tree.is_live(n)).collect();
     let non_root: Vec<NodeId> = live.iter().copied().filter(|&n| n != tree.root()).collect();
     let choice = rng.below(4);
@@ -125,7 +153,7 @@ fn random_op(rng: &mut Rng, tree: &XmlTree) -> EditOp {
         }
         return EditOp::Replace {
             node,
-            subtree: parse_document(PAYLOADS[rng.below(PAYLOADS.len())]).unwrap(),
+            subtree: payloads[rng.below(payloads.len())].clone(),
         };
     }
     let parent = live[rng.below(live.len())];
@@ -133,18 +161,18 @@ fn random_op(rng: &mut Rng, tree: &XmlTree) -> EditOp {
     EditOp::Insert {
         parent,
         position,
-        subtree: parse_document(PAYLOADS[rng.below(PAYLOADS.len())]).unwrap(),
+        subtree: payloads[rng.below(payloads.len())].clone(),
     }
 }
 
 /// Generates a multi-op script that is valid *as a sequence*: each op is
 /// drawn against a scratch clone that has the preceding ops applied, so a
 /// later op never targets a node an earlier op tombstoned.
-fn random_script(rng: &mut Rng, tree: &XmlTree, len: usize) -> Vec<EditOp> {
+fn random_script(rng: &mut Rng, tree: &XmlTree, payloads: &[XmlTree], len: usize) -> Vec<EditOp> {
     let mut probe = tree.clone();
     let mut ops = Vec::with_capacity(len);
     for _ in 0..len {
-        let op = random_op(rng, &probe);
+        let op = random_op(rng, &probe, payloads);
         probe.apply(&op).expect("generated ops are valid in sequence");
         ops.push(op);
     }
@@ -154,6 +182,7 @@ fn random_script(rng: &mut Rng, tree: &XmlTree, len: usize) -> Vec<EditOp> {
 /// Runs `steps` random script applications over `tree` at every thread
 /// budget, comparing against the from-scratch oracle after each step.
 fn drive_random_scripts(make_tree: impl Fn() -> XmlTree, seed: u64, steps: usize) {
+    let payloads = hospital_payloads();
     for &threads in BUDGETS {
         let mut tree = make_tree();
         let queries = probes();
@@ -163,7 +192,7 @@ fn drive_random_scripts(make_tree: impl Fn() -> XmlTree, seed: u64, steps: usize
         let mut rng = Rng(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(threads as u64 + 1)));
         for step in 0..steps {
             let len = 1 + rng.below(3);
-            let ops = random_script(&mut rng, &tree, len);
+            let ops = random_script(&mut rng, &tree, &payloads, len);
             let result = eval
                 .apply_edits(&mut tree, &ops, threads)
                 .expect("generated scripts never touch the root-context invariants");
@@ -220,6 +249,59 @@ fn random_scripts_on_dtd_random_documents_stay_bit_identical() {
             seed.wrapping_mul(0xA5A5_A5A5),
             6,
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry sweep: every domain, domain-vocabulary edit scripts, the whole
+// per-domain corpus (rewritten view queries included) as the probe set.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_scripts_on_every_domain_stay_bit_identical() {
+    for (d, domain) in all_domains().into_iter().enumerate() {
+        let payloads = domain_payloads(domain.document_dtd());
+        let irs = domain_corpus_irs(&domain);
+        let queries: Vec<IncrementalQuery> = irs
+            .iter()
+            .map(|(_, ir)| IncrementalQuery::new(Arc::clone(ir)))
+            .collect();
+        let scratch: Vec<CompiledBatchQuery> = queries
+            .iter()
+            .map(|q| CompiledBatchQuery::new(Arc::clone(&q.compiled)))
+            .collect();
+        for &threads in BUDGETS {
+            let mut tree = domain.generate(DocShape::Standard, 1, STANDARD_SEED);
+            let (mut eval, _) =
+                IncrementalEvaluator::new(&tree, tree.root(), queries.clone(), threads);
+            let mut rng = Rng(0xD0_17_F0_0D ^ ((d as u64 + 1) << 8) ^ threads as u64);
+            for step in 0..4 {
+                let len = 1 + rng.below(3);
+                let ops = random_script(&mut rng, &tree, &payloads, len);
+                let result = eval
+                    .apply_edits(&mut tree, &ops, threads)
+                    .expect("generated scripts never touch the root-context invariants");
+                tree.check_consistency().unwrap();
+                let want = evaluate_batch_parallel_at(&tree, eval.context(), &scratch, 1);
+                assert_eq!(
+                    result.stats, want.stats,
+                    "{}: aggregate stats differ at step {step} ({threads}t)",
+                    domain.name
+                );
+                for (i, (g, w)) in result.results.iter().zip(&want.results).enumerate() {
+                    assert_eq!(
+                        g.answers, w.answers,
+                        "answers differ on `{}` at step {step} ({threads}t)",
+                        irs[i].0
+                    );
+                    assert_eq!(
+                        g.stats, w.stats,
+                        "stats differ on `{}` at step {step} ({threads}t)",
+                        irs[i].0
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -422,9 +504,10 @@ proptest! {
             let (mut eval, _) =
                 IncrementalEvaluator::new(&tree, tree.root(), queries.clone(), threads);
             let mut rng = Rng(script_seed.wrapping_mul(2).wrapping_add(threads as u64) | 1);
+            let payloads = hospital_payloads();
             for step in 0..steps {
                 let len = 1 + rng.below(2);
-                let ops = random_script(&mut rng, &tree, len);
+                let ops = random_script(&mut rng, &tree, &payloads, len);
                 let result = eval.apply_edits(&mut tree, &ops, threads).unwrap();
                 tree.check_consistency().unwrap();
                 let scratch: Vec<CompiledBatchQuery> = queries

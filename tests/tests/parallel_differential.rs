@@ -11,7 +11,9 @@
 
 use std::sync::Arc;
 
-use integration_tests::{document_query_corpus, standard_hospital_document, view_query_corpus};
+use integration_tests::{
+    document_query_corpus, domain_corpus_irs, standard_hospital_document, view_query_corpus,
+};
 use proptest::prelude::*;
 use smoqe::SmoqeEngine;
 use smoqe_automata::{compile_query, CompiledMfa};
@@ -20,7 +22,8 @@ use smoqe_hype::{
     evaluate_compiled, evaluate_compiled_at_with, evaluate_parallel, evaluate_parallel_at_with,
     CompiledBatchQuery, ReachabilityIndex,
 };
-use smoqe_toxgene::{generate_hospital, HospitalConfig};
+use smoqe_toxgene::domains::STANDARD_SEED;
+use smoqe_toxgene::{all_domains, generate_hospital, HospitalConfig};
 use smoqe_xml::hospital::hospital_document_dtd;
 use smoqe_xml::{XmlTree, XmlTreeBuilder};
 use smoqe_xpath::parse_path;
@@ -150,6 +153,59 @@ fn batched_parallel_matches_sequential_per_query_and_in_aggregate() {
                 parallel.results[i].stats, sequential.results[i].stats,
                 "mixed batched stats differ on `{name}` at {threads} thread(s)"
             );
+        }
+    }
+}
+
+#[test]
+fn every_domain_and_shape_parallel_matches_sequential() {
+    // Registry sweep: shard-split/merge invisibility on every registered
+    // domain and every adversarial shape, solo and as one whole-corpus
+    // batch per document, at every tested budget. The shapes matter here:
+    // Deep yields single-chain documents (one shard), Skewed yields one
+    // dominant shard the work-stealing re-splitter has to break up.
+    for domain in all_domains() {
+        let irs = domain_corpus_irs(&domain);
+        for &shape in domain.shapes {
+            let doc = domain.generate(shape, 1, STANDARD_SEED);
+            for (name, ir) in &irs {
+                let sequential = evaluate_compiled(&doc, ir);
+                for &threads in BUDGETS {
+                    let parallel = evaluate_parallel(&doc, ir, threads);
+                    assert_eq!(
+                        parallel.answers, sequential.answers,
+                        "answers differ on `{name}` ({shape:?}, {threads}t)"
+                    );
+                    assert_eq!(
+                        parallel.stats, sequential.stats,
+                        "stats differ on `{name}` ({shape:?}, {threads}t)"
+                    );
+                }
+            }
+
+            let queries: Vec<CompiledBatchQuery> = irs
+                .iter()
+                .map(|(_, ir)| CompiledBatchQuery::new(Arc::clone(ir)))
+                .collect();
+            let sequential = evaluate_batch_compiled(&doc, &queries);
+            for &threads in BUDGETS {
+                let parallel = evaluate_batch_parallel(&doc, &queries, threads);
+                assert_eq!(
+                    parallel.stats, sequential.stats,
+                    "{}/{shape:?}: aggregate batch stats differ at {threads}t",
+                    domain.name
+                );
+                for (i, (name, _)) in irs.iter().enumerate() {
+                    assert_eq!(
+                        parallel.results[i].answers, sequential.results[i].answers,
+                        "batched answers differ on `{name}` ({shape:?}, {threads}t)"
+                    );
+                    assert_eq!(
+                        parallel.results[i].stats, sequential.results[i].stats,
+                        "batched stats differ on `{name}` ({shape:?}, {threads}t)"
+                    );
+                }
+            }
         }
     }
 }

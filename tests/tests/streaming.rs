@@ -12,7 +12,7 @@
 //! and evaluation uses O(depth) frames and **zero** arena-node allocations.
 
 use integration_tests::{
-    document_query_corpus, standard_hospital_document, view_query_corpus,
+    document_query_corpus, domain_corpus_mfas, standard_hospital_document, view_query_corpus,
 };
 use proptest::prelude::*;
 
@@ -21,7 +21,8 @@ use smoqe_automata::compile_query;
 use smoqe_hype::{
     evaluate, evaluate_batch, evaluate_stream, evaluate_stream_batch, BatchQuery, StreamHype,
 };
-use smoqe_toxgene::{generate_from_dtd, generate_hospital, DtdGenConfig, HospitalConfig};
+use smoqe_toxgene::domains::STANDARD_SEED;
+use smoqe_toxgene::{all_domains, generate_from_dtd, generate_hospital, DtdGenConfig, HospitalConfig};
 use smoqe_xml::hospital::{hospital_document_dtd, hospital_view_dtd};
 use smoqe_xml::stream::{EventSource, TreeEvents, XmlEvent};
 use smoqe_xml::{
@@ -149,6 +150,60 @@ fn streaming_matches_the_rewritten_view_corpus_solo_and_batched() {
             streamed.results[i].stats, tree_batch.results[i].stats,
             "batched view stats differ on `{query}`"
         );
+    }
+}
+
+#[test]
+fn every_domain_and_shape_streams_identically_to_the_tree_engine() {
+    // Registry sweep: per domain and shape, the whole corpus evaluated as
+    // one streaming batch must match the tree batch (answers after the
+    // pre-order mapping, per-query stats verbatim) from *both* event
+    // sources — replaying the tree and re-reading the serialized XML —
+    // and the two sources must agree with each other bit for bit.
+    for domain in all_domains() {
+        let mfas = domain_corpus_mfas(&domain);
+        let batch_queries: Vec<BatchQuery> = mfas.iter().map(|(_, m)| BatchQuery::new(m)).collect();
+        for &shape in domain.shapes {
+            let doc = domain.generate(shape, 1, STANDARD_SEED);
+            let pre = preorder_ids(&doc);
+            let tree_batch = evaluate_batch(&doc, &batch_queries);
+
+            let mut events = TreeEvents::new(&doc);
+            let replayed = evaluate_stream_batch(&mut events, &batch_queries).unwrap();
+
+            let xml = to_xml_string(&doc);
+            let mut reader = XmlStreamReader::new(xml.as_bytes());
+            let streamed = evaluate_stream_batch(&mut reader, &batch_queries).unwrap();
+
+            assert_eq!(
+                replayed.stats, streamed.stats,
+                "{}/{shape:?}: replay and reader stream stats diverge",
+                domain.name
+            );
+            for (i, (name, _)) in mfas.iter().enumerate() {
+                let expected = to_preorder(&tree_batch.results[i].answers, &pre);
+                assert_eq!(
+                    replayed.results[i].answers, expected,
+                    "replayed answers differ on `{name}` ({shape:?})"
+                );
+                assert_eq!(
+                    replayed.results[i].stats, tree_batch.results[i].stats,
+                    "replayed stats differ on `{name}` ({shape:?})"
+                );
+                assert_eq!(
+                    streamed.results[i].answers, replayed.results[i].answers,
+                    "reader answers differ on `{name}` ({shape:?})"
+                );
+                assert_eq!(
+                    streamed.results[i].stats, replayed.results[i].stats,
+                    "reader stats differ on `{name}` ({shape:?})"
+                );
+            }
+
+            // The generated corpora carry canonical text, so the reader and
+            // the tree replay must produce the same event sequence outright.
+            assert_stream_and_replay_agree(&doc);
+        }
     }
 }
 
